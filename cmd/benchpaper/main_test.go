@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFitExponent(t *testing.T) {
+	// Perfect quadratic data must fit exponent 2.
+	ns := []int{64, 128, 256, 512}
+	var ts []time.Duration
+	for _, n := range ns {
+		ts = append(ts, time.Duration(n*n)*time.Nanosecond)
+	}
+	if k := fitExponent(ns, ts); math.Abs(k-2) > 1e-9 {
+		t.Errorf("quadratic fit = %f", k)
+	}
+	// Linear data fits exponent 1.
+	ts = ts[:0]
+	for _, n := range ns {
+		ts = append(ts, time.Duration(1000*n)*time.Nanosecond)
+	}
+	if k := fitExponent(ns, ts); math.Abs(k-1) > 1e-9 {
+		t.Errorf("linear fit = %f", k)
+	}
+}
+
+func TestSizesQuickSubset(t *testing.T) {
+	oldQuick := *quick
+	defer func() { *quick = oldQuick }()
+	*quick = true
+	qs := sizes()
+	*quick = false
+	full := sizes()
+	if len(qs) >= len(full) {
+		t.Error("quick sweep not smaller than full sweep")
+	}
+	inFull := map[int]bool{}
+	for _, n := range full {
+		inFull[n] = true
+	}
+	for _, n := range qs {
+		if !inFull[n] {
+			t.Errorf("quick size %d not in full sweep", n)
+		}
+	}
+}

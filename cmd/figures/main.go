@@ -1,0 +1,137 @@
+// Command figures regenerates every example of the paper: it runs the
+// implementation over the programs of Figures 1–13 and checks the
+// results against the transformations the paper reports (Figure 2,
+// Figure 4, Figure 6, ...). This is the per-figure reproduction
+// harness of DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	figures            # run and check all figures
+//	figures -fig 5     # only the Figure 5 → Figure 6 example
+//	figures -v         # also print the before/after programs
+//	figures -dump DIR  # write the figure programs as .cfg files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/figures"
+	"pdce/internal/verify"
+)
+
+var (
+	figNum  = flag.Int("fig", 0, "only run the figure with this paper number (0 = all)")
+	verbose = flag.Bool("v", false, "print before/after programs")
+	dumpDir = flag.String("dump", "", "write the figure programs as .cfg files into this directory")
+)
+
+func main() {
+	flag.Parse()
+	if *dumpDir != "" {
+		if err := dump(*dumpDir); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var figs []*figures.Figure
+	if *figNum != 0 {
+		f, err := figures.ByNum(*figNum)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		figs = []*figures.Figure{f}
+	} else {
+		figs = figures.All()
+	}
+
+	failures := 0
+	for _, f := range figs {
+		if !runFigure(f) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d figure(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d figures reproduce the paper's transformations\n", len(figs))
+}
+
+func runFigure(f *figures.Figure) bool {
+	fmt.Printf("== Figure %d (%s): %s\n", f.Num, f.Name, f.Title)
+	in := f.Graph()
+	ok := true
+
+	if *verbose {
+		fmt.Println("-- input:")
+		fmt.Print(indent(in.String()))
+	}
+
+	check := func(label string, mode core.Mode, want *cfg.Graph) {
+		if want == nil {
+			return
+		}
+		got, st, err := core.Transform(in, core.Options{Mode: mode})
+		if err != nil {
+			fmt.Printf("   %s: ERROR: %v\n", label, err)
+			ok = false
+			return
+		}
+		rep := verify.CheckTransformed(in, got, verify.Options{Seeds: 48})
+		diffs := cfg.Diff(got, want)
+		switch {
+		case len(diffs) > 0:
+			fmt.Printf("   %s: MISMATCH with the paper's result:\n", label)
+			for _, d := range diffs {
+				fmt.Printf("      %s\n", d)
+			}
+			ok = false
+		case !rep.OK():
+			fmt.Printf("   %s: SEMANTICS VIOLATION: %s\n", label, rep)
+			ok = false
+		default:
+			fmt.Printf("   %s: matches the paper (rounds=%d, eliminated=%d, %s)\n",
+				label, st.Rounds, st.Eliminated, rep)
+			if *verbose {
+				fmt.Printf("-- %s result:\n%s", label, indent(got.String()))
+			}
+		}
+	}
+
+	check("pde", core.ModeDead, f.PDEGraph())
+	if f.ExpectedPFE != "" {
+		check("pfe", core.ModeFaint, f.PFEGraph())
+	}
+	if f.ExpectedPDE == "" && f.ExpectedPFE == "" {
+		fmt.Printf("   (block-local illustration; exercised by the analysis test suite)\n")
+	}
+	return ok
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "      " + strings.Join(lines, "\n      ") + "\n"
+}
+
+func dump(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range figures.All() {
+		path := filepath.Join(dir, f.Name+".cfg")
+		if err := os.WriteFile(path, []byte(f.Source), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

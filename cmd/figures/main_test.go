@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdce/internal/figures"
+	"pdce/internal/parser"
+)
+
+func TestRunFigureAll(t *testing.T) {
+	for _, f := range figures.All() {
+		if !runFigure(f) {
+			t.Errorf("figure %d failed", f.Num)
+		}
+	}
+}
+
+func TestDumpWritesParseableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := dump(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(figures.All()) {
+		t.Fatalf("dumped %d files, want %d", len(entries), len(figures.All()))
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parser.ParseCFG(string(data)); err != nil {
+			t.Errorf("%s does not re-parse: %v", ent.Name(), err)
+		}
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb\n")
+	want := "      a\n      b\n"
+	if got != want {
+		t.Errorf("indent = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,266 @@
+// Command pdce is the command-line optimizer: it reads a program
+// (WHILE-language or low-level CFG format), applies partial dead code
+// elimination or one of the baselines, and prints the result.
+//
+// Usage:
+//
+//	pdce [flags] [file]
+//
+// With no file, the program is read from standard input. The input
+// language is auto-detected ("graph"/"node"/"edge" keywords select the
+// CFG format) and can be forced with -lang.
+//
+// Examples:
+//
+//	pdce -stats program.cfg
+//	pdce -mode pfe -verify program.while
+//	pdce -mode lcm -format dot program.cfg | dot -Tpng > out.png
+//	pdce -mode none -format cfg program.while   # just lower & print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pdce"
+)
+
+var (
+	mode      = flag.String("mode", "pde", "transformation: pde, pfe, dce, fce, ssadce, dudce, lcm, copyprop, hoist, none")
+	lang      = flag.String("lang", "auto", "input language: auto, cfg, while")
+	format    = flag.String("format", "listing", "output format: listing, cfg, dot")
+	stats     = flag.Bool("stats", false, "print transformation statistics to stderr")
+	verifyRun = flag.Int("verify", 0, "replay N executions to verify semantics preservation (0 = off)")
+	maxRounds = flag.Int("max-rounds", 0, "truncate the pde/pfe fixpoint iteration (0 = run to optimum)")
+	keepSynth = flag.Bool("keep-synthetic", false, "keep empty synthetic nodes from edge splitting")
+	name      = flag.String("name", "", "program name (defaults to the file name)")
+	passes    = flag.String("passes", "", "comma-separated pass pipeline overriding -mode, e.g. lcm,copyprop,pde")
+	hot       = flag.String("hot", "", "comma-separated block labels forming the hot region for pde/pfe (default: whole program)")
+	trace     = flag.Bool("trace", false, "print the program after every eliminate/sink phase (pde/pfe only)")
+	execSeed  = flag.Int64("exec", -1, "instead of printing, run the transformed program with this oracle seed and print its outputs")
+	inputs    = flag.String("input", "", "comma-separated initial store for -exec, e.g. n=100,base=7")
+	fuel      = flag.Int("fuel", 0, "block-visit bound for -exec (0 = default)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdce:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	src, progName, err := readInput()
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		progName = *name
+	}
+
+	prog, err := parse(src, progName)
+	if err != nil {
+		return err
+	}
+
+	opt, st, err := transform(prog)
+	if err != nil {
+		return err
+	}
+	if *passes != "" {
+		opt, err = prog.Passes(strings.Split(*passes, ",")...)
+		if err != nil {
+			return err
+		}
+		st = nil
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "blocks: %d -> %d   statements: %d -> %d\n",
+			prog.NumBlocks(), opt.NumBlocks(), prog.NumStatements(), opt.NumStatements())
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "rounds: %d   eliminated: %d   inserted: %d   critical edges split: %d   growth w: %.2f\n",
+				st.Rounds, st.Eliminated, st.Inserted, st.CriticalEdges, st.GrowthFactor())
+		}
+	}
+	if *verifyRun > 0 {
+		if err := prog.Check(opt, *verifyRun); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "verified over %d executions: outputs preserved, no execution impaired (savings: %.1f%%)\n",
+			*verifyRun, 100*prog.Savings(opt, *verifyRun))
+	}
+
+	if *execSeed >= 0 {
+		return execute(opt)
+	}
+
+	switch *format {
+	case "listing":
+		fmt.Print(opt.String())
+	case "cfg":
+		fmt.Print(opt.Format())
+	case "dot":
+		fmt.Print(opt.DOT())
+	default:
+		return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
+	}
+	return nil
+}
+
+// execute runs the program under the interpreter and prints its
+// observable behaviour.
+func execute(prog *pdce.Program) error {
+	store := map[string]int64{}
+	if *inputs != "" {
+		for _, kv := range strings.Split(*inputs, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -input entry %q (want name=value)", kv)
+			}
+			var v int64
+			if _, err := fmt.Sscanf(parts[1], "%d", &v); err != nil {
+				return fmt.Errorf("bad -input value %q: %w", parts[1], err)
+			}
+			store[parts[0]] = v
+		}
+	}
+	tr := prog.RunWithInput(uint64(*execSeed), *fuel, store)
+	for _, v := range tr.Outputs {
+		fmt.Println(v)
+	}
+	switch {
+	case tr.Faulted:
+		return fmt.Errorf("run-time error: %v", tr.Err)
+	case !tr.Terminated:
+		return fmt.Errorf("out of fuel after %d assignments", tr.AssignExecs)
+	}
+	fmt.Fprintf(os.Stderr, "terminated: %d assignment instances, %d term evaluations\n",
+		tr.AssignExecs, tr.TermEvals)
+	return nil
+}
+
+func readInput() (src, progName string, err error) {
+	switch flag.NArg() {
+	case 0:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", "", err
+		}
+		return string(data), "stdin", nil
+	case 1:
+		path := flag.Arg(0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", "", err
+		}
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i > 0 {
+			base = base[:i]
+		}
+		return string(data), base, nil
+	default:
+		return "", "", fmt.Errorf("expected at most one input file, got %d", flag.NArg())
+	}
+}
+
+func parse(src, progName string) (*pdce.Program, error) {
+	language := *lang
+	if language == "auto" {
+		language = detect(src)
+	}
+	switch language {
+	case "cfg":
+		return pdce.ParseCFG(src)
+	case "while":
+		return pdce.ParseSource(progName, src)
+	default:
+		return nil, fmt.Errorf("unknown -lang %q (want auto, cfg, or while)", language)
+	}
+}
+
+// detect sniffs the input language: the CFG format opens every
+// construct with one of three keywords.
+func detect(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, kw := range []string{"graph", "node", "edge"} {
+			if strings.HasPrefix(line, kw+" ") || strings.HasPrefix(line, kw+"\t") {
+				return "cfg"
+			}
+		}
+		return "while"
+	}
+	return "while"
+}
+
+func transform(prog *pdce.Program) (*pdce.Program, *pdce.Stats, error) {
+	switch *mode {
+	case "pde", "pfe":
+		m := pdce.Dead
+		if *mode == "pfe" {
+			m = pdce.Faint
+		}
+		o := pdce.Options{
+			Mode:          m,
+			MaxRounds:     *maxRounds,
+			KeepSynthetic: *keepSynth,
+		}
+		if *hot != "" {
+			set := map[string]bool{}
+			for _, l := range strings.Split(*hot, ",") {
+				set[strings.TrimSpace(l)] = true
+			}
+			o.Hot = func(label string) bool { return set[label] }
+		}
+		if *trace {
+			o.Observe = func(round int, phase string, changed bool, snapshot string) {
+				if !changed {
+					fmt.Fprintf(os.Stderr, "-- round %d %s: no change\n", round, phase)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "-- round %d %s:\n%s", round, phase, snapshot)
+			}
+		}
+		opt, st, err := prog.Optimize(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return opt, &st, nil
+	case "dce":
+		opt, _ := prog.DeadCodeElimination()
+		return opt, nil, nil
+	case "fce":
+		opt, _ := prog.FaintCodeElimination()
+		return opt, nil, nil
+	case "ssadce":
+		opt, _ := prog.SSADeadCodeElimination()
+		return opt, nil, nil
+	case "dudce":
+		opt, _ := prog.DefUseDCE()
+		return opt, nil, nil
+	case "lcm":
+		opt, _, _, err := prog.LazyCodeMotion()
+		return opt, nil, err
+	case "copyprop":
+		opt, _ := prog.CopyPropagation()
+		return opt, nil, nil
+	case "hoist":
+		opt, err := prog.HoistAssignments()
+		return opt, nil, err
+	case "none":
+		return prog, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -mode %q", *mode)
+	}
+}

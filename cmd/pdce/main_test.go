@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdce"
+)
+
+func TestDetect(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"graph \"g\"\nnode 1 {}\n", "cfg"},
+		{"node 1 { x := 1 }", "cfg"},
+		{"edge s e", "cfg"},
+		{"// comment\n# another\nnode 1 {}", "cfg"},
+		{"x := a + b\nout(x)", "while"},
+		{"if * { out(1) }", "while"},
+		{"", "while"},
+		{"// only comments", "while"},
+		// A WHILE program whose first word merely *starts* with a
+		// keyword is not the CFG format.
+		{"nodes := 1\nout(nodes)", "while"},
+		{"edges := 2\nout(edges)", "while"},
+	}
+	for _, c := range cases {
+		if got := detect(c.src); got != c.want {
+			t.Errorf("detect(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func withMode(t *testing.T, m string, f func()) {
+	t.Helper()
+	old := *mode
+	*mode = m
+	defer func() { *mode = old }()
+	f()
+}
+
+func TestTransformModes(t *testing.T) {
+	prog, err := pdce.ParseSource("t", `
+y := a + b
+if * { y := c }
+out(x + y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"pde", "pfe", "dce", "fce", "ssadce", "dudce", "lcm", "copyprop", "none"} {
+		withMode(t, m, func() {
+			opt, _, err := transform(prog)
+			if err != nil {
+				t.Errorf("mode %s: %v", m, err)
+				return
+			}
+			if opt == nil {
+				t.Errorf("mode %s: nil result", m)
+			}
+		})
+	}
+	withMode(t, "bogus", func() {
+		if _, _, err := transform(prog); err == nil {
+			t.Error("unknown mode accepted")
+		}
+	})
+}
+
+func TestTransformPDEHasStats(t *testing.T) {
+	prog, err := pdce.ParseSource("t", "y := a+b\nif * { y := c }\nout(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMode(t, "pde", func() {
+		_, st, err := transform(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == nil || st.Rounds == 0 {
+			t.Error("pde mode returned no stats")
+		}
+	})
+	withMode(t, "dce", func() {
+		_, st, err := transform(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != nil {
+			t.Error("dce mode returned driver stats")
+		}
+	})
+}
+
+func TestParseLangSelection(t *testing.T) {
+	oldLang := *lang
+	defer func() { *lang = oldLang }()
+
+	*lang = "auto"
+	if _, err := parse("out(1)", "t"); err != nil {
+		t.Errorf("auto/while: %v", err)
+	}
+	if _, err := parse("node 1 { out(1) }\nedge s 1\nedge 1 e", "t"); err != nil {
+		t.Errorf("auto/cfg: %v", err)
+	}
+	*lang = "cfg"
+	if _, err := parse("out(1)", "t"); err == nil {
+		t.Error("cfg lang accepted while source")
+	}
+	*lang = "while"
+	if _, err := parse("x := 1\nout(x)", "t"); err != nil {
+		t.Errorf("while: %v", err)
+	}
+	*lang = "klingon"
+	if _, err := parse("out(1)", "t"); err == nil || !strings.Contains(err.Error(), "unknown -lang") {
+		t.Errorf("bad lang error = %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module pdce
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package analysis implements the data flow analyses of the paper:
+// the dead- and faint-variable analyses of Table 1, the delayability
+// analysis and insertion points of Table 2, and the supporting local
+// predicates (sinking candidates, blockades; Section 5.3, Figure 13).
+// It also provides reaching definitions / def-use chains for the
+// def-use-graph dead code elimination baseline.
+package analysis
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// Locals holds, for one flow graph and one pattern universe, the local
+// predicates of Table 2:
+//
+//	LOCDELAYED_n(α)  — block n contains a sinking candidate of α,
+//	LOCBLOCKED_n(α)  — some instruction of n blocks the sinking of α.
+//
+// A sinking candidate is an occurrence of α ≡ x := t that is not
+// followed, within its block, by an instruction blocking α (an
+// instruction that modifies an operand of t, uses x, or modifies x).
+// Because every occurrence of α blocks α itself (it modifies x), at
+// most the last occurrence in a block is a candidate.
+type Locals struct {
+	Patterns *ir.PatternTable
+
+	// LocDelayed and LocBlocked are indexed by cfg.NodeID; one bit
+	// per pattern.
+	LocDelayed []*bitvec.Vector
+	LocBlocked []*bitvec.Vector
+
+	// CandidateIdx[nodeID][patternIdx] is the statement index of
+	// the sinking candidate of that pattern in that block, or -1.
+	CandidateIdx [][]int
+}
+
+// ComputeLocals computes the local predicates of every block of g over
+// the pattern universe pt.
+func ComputeLocals(g *cfg.Graph, pt *ir.PatternTable) *Locals {
+	numNodes := g.NumNodes()
+	np := pt.Len()
+	l := &Locals{
+		Patterns:     pt,
+		LocDelayed:   make([]*bitvec.Vector, numNodes),
+		LocBlocked:   make([]*bitvec.Vector, numNodes),
+		CandidateIdx: make([][]int, numNodes),
+	}
+	for _, n := range g.Nodes() {
+		ld := bitvec.New(np)
+		lb := bitvec.New(np)
+		cand := make([]int, np)
+		for i := range cand {
+			cand[i] = -1
+		}
+		// One backward sweep per block: a pattern occurrence is a
+		// candidate iff no later instruction of the block blocks
+		// it; blockedBelow tracks "blocked by something at or
+		// after the current position".
+		blockedBelow := bitvec.New(np)
+		for si := len(n.Stmts) - 1; si >= 0; si-- {
+			s := n.Stmts[si]
+			if pi, ok := pt.IndexOfStmt(s); ok && !blockedBelow.Get(pi) {
+				ld.Set(pi)
+				cand[pi] = si
+			}
+			for pi := 0; pi < np; pi++ {
+				if pt.BlocksIdx(s, pi) {
+					blockedBelow.Set(pi)
+					lb.Set(pi)
+				}
+			}
+		}
+		l.LocDelayed[n.ID] = ld
+		l.LocBlocked[n.ID] = lb
+		l.CandidateIdx[n.ID] = cand
+	}
+	return l
+}
+
+// SinkingCandidates returns, for presentation and tests, the candidate
+// occurrences of block n as (statement index, pattern) pairs in
+// statement order.
+func (l *Locals) SinkingCandidates(n *cfg.Node) []Candidate {
+	var out []Candidate
+	for pi, si := range l.CandidateIdx[n.ID] {
+		if si >= 0 {
+			out = append(out, Candidate{StmtIndex: si, Pattern: l.Patterns.Pattern(pi), PatternIdx: pi})
+		}
+	}
+	// Order by statement position for stable output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].StmtIndex < out[j-1].StmtIndex; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Candidate is a sinking candidate occurrence.
+type Candidate struct {
+	StmtIndex  int
+	Pattern    ir.Pattern
+	PatternIdx int
+}
+
+// FirstBlockerIdx returns the statement index of the first instruction
+// of n that blocks pattern pi, or len(n.Stmts) if none does. The
+// sinking transformation inserts arriving instances of a pattern at
+// block entry when a blocker exists (N-INSERT); this helper supports
+// diagnostics explaining *why*.
+func (l *Locals) FirstBlockerIdx(n *cfg.Node, pi int) int {
+	for si, s := range n.Stmts {
+		if l.Patterns.BlocksIdx(s, pi) {
+			return si
+		}
+	}
+	return len(n.Stmts)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// DeadResult is the greatest solution of the dead-variable analysis of
+// Table 1, a backward bit-vector problem over the variable universe:
+//
+//	N-DEAD_ι = ¬USED_ι · (X-DEAD_ι + MOD_ι)
+//	X-DEAD_ι = ∏_{ι' ∈ succ(ι)} N-DEAD_ι'
+//
+// A variable is dead at a point if on every path to the end node every
+// right-hand-side occurrence is preceded by a modification. Relevant
+// statements (out, branch) count as uses. At the end node everything
+// is dead (empty product).
+type DeadResult struct {
+	Vars *ir.VarTable
+
+	// NDead[id] is N-DEAD at block entry, XDead[id] X-DEAD at block
+	// exit, indexed by cfg.NodeID, one bit per variable.
+	NDead, XDead []*bitvec.Vector
+
+	Stats dataflow.SolverStats
+}
+
+type deadProblem struct {
+	vars *ir.VarTable
+	bits int
+}
+
+func (p *deadProblem) Bits() int                     { return p.bits }
+func (p *deadProblem) Direction() dataflow.Direction { return dataflow.Backward }
+func (p *deadProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *deadProblem) Boundary() *bitvec.Vector      { return bitvec.NewAllOnes(p.bits) }
+func (p *deadProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+func (p *deadProblem) Transfer(n *cfg.Node, out, in *bitvec.Vector) {
+	in.CopyFrom(out)
+	for si := len(n.Stmts) - 1; si >= 0; si-- {
+		deadStep(p.vars, n.Stmts[si], in)
+	}
+}
+
+// deadStep updates v from X-DEAD to N-DEAD across a single
+// instruction, in place.
+func deadStep(vars *ir.VarTable, s ir.Stmt, v *bitvec.Vector) {
+	if d, ok := ir.Def(s); ok {
+		v.Set(vars.MustIndex(d)) // + MOD
+	}
+	ir.Uses(s, func(u ir.Var) { // · ¬USED
+		v.Clear(vars.MustIndex(u))
+	})
+}
+
+// DeadVars solves the dead-variable analysis on g over its full
+// variable universe.
+func DeadVars(g *cfg.Graph) *DeadResult {
+	return DeadVarsWith(g, g.CollectVars())
+}
+
+// DeadVarsWith solves the dead-variable analysis over a caller-chosen
+// variable universe (which must cover every variable in g).
+func DeadVarsWith(g *cfg.Graph, vars *ir.VarTable) *DeadResult {
+	prob := &deadProblem{vars: vars, bits: vars.Len()}
+	sol := dataflow.Solve(g, prob)
+	return &DeadResult{Vars: vars, NDead: sol.In, XDead: sol.Out, Stats: sol.Stats}
+}
+
+// InstrXDead returns X-DEAD immediately after every statement of block
+// n (index i corresponds to n.Stmts[i]); the elimination step removes
+// assignment i when the returned vector i has the bit of its LHS set.
+func (r *DeadResult) InstrXDead(n *cfg.Node) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(n.Stmts))
+	cur := r.XDead[n.ID].Copy()
+	for si := len(n.Stmts) - 1; si >= 0; si-- {
+		out[si] = cur.Copy()
+		deadStep(r.Vars, n.Stmts[si], cur)
+	}
+	return out
+}
+
+// DeadAfter reports whether variable v is dead immediately after
+// statement idx of block n.
+func (r *DeadResult) DeadAfter(n *cfg.Node, idx int, v ir.Var) bool {
+	vi, ok := r.Vars.Index(v)
+	if !ok {
+		return true // a variable never mentioned is trivially dead
+	}
+	cur := r.XDead[n.ID].Copy()
+	for si := len(n.Stmts) - 1; si > idx; si-- {
+		deadStep(r.Vars, n.Stmts[si], cur)
+	}
+	return cur.Get(vi)
+}
+
+// LiveAtEntry reports whether v is live (not dead) at the entry of n —
+// convenience for baselines and diagnostics.
+func (r *DeadResult) LiveAtEntry(n *cfg.Node, v ir.Var) bool {
+	vi, ok := r.Vars.Index(v)
+	if !ok {
+		return false
+	}
+	return !r.NDead[n.ID].Get(vi)
+}

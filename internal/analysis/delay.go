@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// DelayResult is the greatest solution of the delayability equation
+// system of Table 2, together with the derived insertion predicates:
+//
+//	N-DELAYED_n = false                              if n = s
+//	            = ∏_{m ∈ pred(n)} X-DELAYED_m        otherwise
+//	X-DELAYED_n = LOCDELAYED_n + N-DELAYED_n · ¬LOCBLOCKED_n
+//
+//	N-INSERT_n  = N-DELAYED_n · LOCBLOCKED_n
+//	X-INSERT_n  = X-DELAYED_n · Σ_{m ∈ succ(n)} ¬N-DELAYED_m
+//
+// Intuitively, N-DELAYED_n(α)/X-DELAYED_n(α) state that sinking
+// candidates of α can be moved to the entry/exit of n; the insertion
+// predicates mark the frontier where delaying must stop. After
+// critical-edge splitting there are no exit insertions at branching
+// nodes (footnote 6), and no insertion ever targets the end node's
+// exit (the empty sum), which silently drops assignments that are dead
+// along their remaining paths.
+type DelayResult struct {
+	Locals *Locals
+
+	// NDelayed/XDelayed are indexed by cfg.NodeID, one bit per
+	// pattern.
+	NDelayed, XDelayed []*bitvec.Vector
+	NInsert, XInsert   []*bitvec.Vector
+
+	Stats dataflow.SolverStats
+}
+
+type delayProblem struct {
+	locals *Locals
+	bits   int
+}
+
+func (p *delayProblem) Bits() int                     { return p.bits }
+func (p *delayProblem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *delayProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *delayProblem) Boundary() *bitvec.Vector      { return bitvec.New(p.bits) }
+func (p *delayProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+func (p *delayProblem) Transfer(n *cfg.Node, in, out *bitvec.Vector) {
+	// X = LOCDELAYED + N·¬LOCBLOCKED
+	out.CopyFrom(in)
+	out.AndNot(p.locals.LocBlocked[n.ID])
+	out.Or(p.locals.LocDelayed[n.ID])
+}
+
+// Delayability solves Table 2 for graph g over pattern universe pt.
+// The graph is expected to have its critical edges already split; the
+// equations remain well-defined otherwise, but insertion points on
+// critical edges would then be unrepresentable (Section 2.1).
+func Delayability(g *cfg.Graph, pt *ir.PatternTable) *DelayResult {
+	return DelayabilityWithLocals(g, ComputeLocals(g, pt))
+}
+
+// DelayabilityWithLocals is Delayability with precomputed local
+// predicates (the PDE driver reuses them for the transformation step).
+func DelayabilityWithLocals(g *cfg.Graph, locals *Locals) *DelayResult {
+	bits := locals.Patterns.Len()
+	prob := &delayProblem{locals: locals, bits: bits}
+	sol := dataflow.Solve(g, prob)
+
+	r := &DelayResult{
+		Locals:   locals,
+		NDelayed: sol.In,
+		XDelayed: sol.Out,
+		NInsert:  make([]*bitvec.Vector, g.NumNodes()),
+		XInsert:  make([]*bitvec.Vector, g.NumNodes()),
+		Stats:    sol.Stats,
+	}
+	for _, n := range g.Nodes() {
+		ni := r.NDelayed[n.ID].Copy()
+		ni.And(locals.LocBlocked[n.ID])
+		r.NInsert[n.ID] = ni
+
+		// Σ_{m ∈ succ} ¬N-DELAYED_m: some successor is not
+		// delayed. Empty sum (end node) is false.
+		someSuccNotDelayed := bitvec.New(bits)
+		for _, m := range n.Succs() {
+			nd := r.NDelayed[m.ID].Copy()
+			nd.Not()
+			someSuccNotDelayed.Or(nd)
+		}
+		xi := r.XDelayed[n.ID].Copy()
+		xi.And(someSuccNotDelayed)
+		r.XInsert[n.ID] = xi
+	}
+	return r
+}
+
+// Stable reports whether the assignment sinking transformation induced
+// by this solution leaves the program invariant — the paper's
+// termination condition (Section 5.4): every block n satisfies
+// N-INSERT_n = false and X-INSERT_n = LOCDELAYED_n.
+func (r *DelayResult) Stable(g *cfg.Graph) bool {
+	for _, n := range g.Nodes() {
+		if !r.NInsert[n.ID].IsZero() {
+			return false
+		}
+		if !r.XInsert[n.ID].Equal(r.Locals.LocDelayed[n.ID]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// ReachDefsResult holds instruction-level reaching definitions: for
+// every flat instruction, which assignment occurrences may reach its
+// entry. This is the substrate of the classic def-use-graph dead code
+// elimination the paper compares complexities against (Section 5.2,
+// references [2, 21, 30]).
+type ReachDefsResult struct {
+	Flat *dataflow.FlatProgram
+
+	// Defs lists the flat indices of all assignment instructions;
+	// bit k of the vectors below refers to Defs[k].
+	Defs []int
+
+	// DefBit maps a flat instruction index to its bit, or -1.
+	DefBit []int
+
+	// In[i] is the set of definitions reaching the entry of flat
+	// instruction i.
+	In []*bitvec.Vector
+
+	// Visits counts instruction relaxations performed by the
+	// worklist, for complexity reporting.
+	Visits int
+}
+
+// ReachingDefs computes instruction-level reaching definitions of g.
+func ReachingDefs(g *cfg.Graph) *ReachDefsResult {
+	fp := dataflow.Flatten(g)
+	r := &ReachDefsResult{
+		Flat:   fp,
+		DefBit: make([]int, fp.Len()),
+	}
+	for i := range r.DefBit {
+		r.DefBit[i] = -1
+	}
+	for i, instr := range fp.Instrs {
+		if _, ok := instr.Stmt.(ir.Assign); ok {
+			r.DefBit[i] = len(r.Defs)
+			r.Defs = append(r.Defs, i)
+		}
+	}
+	nd := len(r.Defs)
+	r.In = make([]*bitvec.Vector, fp.Len())
+	out := make([]*bitvec.Vector, fp.Len())
+	for i := range r.In {
+		r.In[i] = bitvec.New(nd) // least solution: start empty
+		out[i] = bitvec.New(nd)
+	}
+
+	// kill[k] for def k: all defs of the same variable.
+	defsOfVar := make(map[ir.Var][]int)
+	for k, i := range r.Defs {
+		a := fp.Instrs[i].Stmt.(ir.Assign)
+		defsOfVar[a.LHS] = append(defsOfVar[a.LHS], k)
+	}
+	killOf := func(i int) *bitvec.Vector {
+		k := bitvec.New(nd)
+		if a, ok := fp.Instrs[i].Stmt.(ir.Assign); ok {
+			for _, d := range defsOfVar[a.LHS] {
+				k.Set(d)
+			}
+		}
+		return k
+	}
+	kills := make([]*bitvec.Vector, fp.Len())
+	for i := range kills {
+		kills[i] = killOf(i)
+	}
+
+	queue := make([]int, 0, fp.Len())
+	inQueue := make([]bool, fp.Len())
+	for i := 0; i < fp.Len(); i++ {
+		queue = append(queue, i)
+		inQueue[i] = true
+	}
+	tmp := bitvec.New(nd)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		inQueue[i] = false
+		r.Visits++
+		for _, p := range fp.Instrs[i].Preds {
+			r.In[i].Or(out[p])
+		}
+		tmp.CopyFrom(r.In[i])
+		tmp.AndNot(kills[i])
+		if b := r.DefBit[i]; b >= 0 {
+			tmp.Set(b)
+		}
+		if !tmp.Equal(out[i]) {
+			out[i].CopyFrom(tmp)
+			for _, s := range fp.Instrs[i].Succs {
+				if !inQueue[s] {
+					inQueue[s] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// DefsReachingUse returns the flat indices of the assignment
+// occurrences of variable x that reach the entry of flat instruction i.
+func (r *ReachDefsResult) DefsReachingUse(i int, x ir.Var) []int {
+	var out []int
+	r.In[i].ForEach(func(bit int) {
+		di := r.Defs[bit]
+		if a := r.Flat.Instrs[di].Stmt.(ir.Assign); a.LHS == x {
+			out = append(out, di)
+		}
+	})
+	return out
+}
+
+// DefUseChains links every definition to the flat instructions that
+// may use its value. Chains[k] lists, for def bit k, the using
+// instructions.
+func (r *ReachDefsResult) DefUseChains() [][]int {
+	chains := make([][]int, len(r.Defs))
+	for i, instr := range r.Flat.Instrs {
+		used := ir.UsesSet(instr.Stmt)
+		if len(used) == 0 {
+			continue
+		}
+		r.In[i].ForEach(func(bit int) {
+			di := r.Defs[bit]
+			a := r.Flat.Instrs[di].Stmt.(ir.Assign)
+			if used[a.LHS] {
+				chains[bit] = append(chains[bit], i)
+			}
+		})
+	}
+	return chains
+}

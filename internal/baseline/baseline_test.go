@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/figures"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+	"pdce/internal/verify"
+)
+
+func TestIteratedDCEChain(t *testing.T) {
+	// A dead chain requires multiple dce rounds (the
+	// elimination-elimination effect), and iteration provides them.
+	g := parser.MustParseCFG(`
+node 1 {
+  a := 1
+  b := a+1
+  c := b+1
+  out(9)
+}
+edge s 1
+edge 1 e
+`)
+	r := IteratedDCE(g)
+	if r.Removed != 3 {
+		t.Errorf("removed %d, want 3", r.Removed)
+	}
+	if r.Rounds < 3 {
+		t.Errorf("rounds = %d, want at least 3 (one per chain link plus fixpoint check)", r.Rounds)
+	}
+	cfg.MustValidate(r.Graph)
+}
+
+func TestIteratedDCELeavesPartiallyDead(t *testing.T) {
+	// Figure 1: dce alone cannot remove the partially dead y := a+b.
+	fig, _ := figures.ByNum(1)
+	g := fig.Graph()
+	r := IteratedDCE(g)
+	if r.Removed != 0 {
+		t.Errorf("dce removed %d from figure 1; partially dead code should be out of reach", r.Removed)
+	}
+}
+
+func TestIteratedFCESingleStep(t *testing.T) {
+	// Faint elimination removes a whole faint chain in one step; the
+	// second round only confirms the fixpoint.
+	g := parser.MustParseCFG(`
+node 1 {
+  a := 1
+  b := a+1
+  c := b+1
+  out(9)
+}
+edge s 1
+edge 1 e
+`)
+	r := IteratedFCE(g)
+	if r.Removed != 3 {
+		t.Errorf("removed %d, want 3", r.Removed)
+	}
+	if r.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (one removing, one confirming)", r.Rounds)
+	}
+}
+
+func TestDefUseDCEMatchesFCE(t *testing.T) {
+	// The optimistic def-use marking detects exactly the faint
+	// assignments (Section 5.2).
+	for seed := int64(0); seed < 30; seed++ {
+		params := progen.Params{Seed: seed, Stmts: 50, Vars: 5, LoopProb: 0.15}
+		if seed%4 == 1 {
+			params.Irreducible = true
+		}
+		g := progen.Generate(params)
+		du := DefUseDCE(g)
+		fce := IteratedFCE(g)
+		if du.Removed != fce.Removed {
+			t.Errorf("seed %d: def-use removed %d, fce removed %d", seed, du.Removed, fce.Removed)
+		}
+		if !cfg.Equal(du.Graph, fce.Graph) {
+			t.Errorf("seed %d: def-use and fce results differ", seed)
+		}
+	}
+}
+
+func TestDefUseDCESemantics(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := progen.Generate(progen.Params{Seed: seed, Stmts: 40, Vars: 5})
+		r := DefUseDCE(g)
+		rep := verify.CheckTransformed(g, r.Graph, verify.Options{Seeds: 24, Fuel: 512})
+		if !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep)
+		}
+	}
+}
+
+func TestSingleRoundMissesSecondOrderEffects(t *testing.T) {
+	// Figure 3's dependent pair needs several rounds; a single round
+	// must achieve strictly less than the fixpoint.
+	fig, _ := figures.ByNum(3)
+	g := fig.Graph()
+	sr, err := SingleRound(g, core.ModeDead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single round is still correct...
+	rep := verify.CheckTransformed(g, sr.Graph, verify.Options{Seeds: 32, Fuel: 512})
+	if !rep.OK() {
+		t.Fatalf("single round broke semantics: %s", rep)
+	}
+	// ...but the loop still contains an assignment that the full
+	// algorithm removes.
+	imp := verify.MeasureImprovement(g, sr.Graph, 32, 512)
+	impFull := verify.MeasureImprovement(g, full, 32, 512)
+	if imp.Savings() >= impFull.Savings() {
+		t.Errorf("single round savings %.3f not below full pde %.3f",
+			imp.Savings(), impFull.Savings())
+	}
+}
+
+func TestSingleRoundValidatesInput(t *testing.T) {
+	g := cfg.New("broken")
+	g.AddNode("orphan")
+	if _, err := SingleRound(g, core.ModeDead); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestUnionSinkImpairsLoops(t *testing.T) {
+	// The union-meet ablation on the paper's Figure 5 must impair
+	// executions (that's what it exists to demonstrate): the
+	// assignment gets pushed into the second loop, exactly the
+	// Briggs/Cooper hazard the paper describes.
+	fig, _ := figures.ByNum(5)
+	g := fig.Graph()
+	r := UnionSinkOnce(g)
+	cfg.MustValidate(r.Graph)
+	rep := verify.CheckTransformed(g, r.Graph, verify.Options{Seeds: 64, Fuel: 512})
+	if rep.OK() {
+		t.Errorf("union sinking unexpectedly preserved all guarantees on figure 5:\n%s", r.Graph)
+	}
+}
+
+func TestPDEOutperformsElimOnlyBaselines(t *testing.T) {
+	// On the figure corpus, pde's dynamic savings dominate the pure
+	// eliminators (which find nothing partially dead).
+	for _, fig := range figures.All() {
+		if fig.ExpectedPDE == "" {
+			continue
+		}
+		g := fig.Graph()
+		pde, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dce := IteratedDCE(g)
+		sPDE := verify.MeasureImprovement(g, pde, 48, 512).Savings()
+		sDCE := verify.MeasureImprovement(g, dce.Graph, 48, 512).Savings()
+		if sPDE < sDCE {
+			t.Errorf("%s: pde savings %.3f below dce %.3f", fig.Name, sPDE, sDCE)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package bitvec provides dense, fixed-length bit vectors.
+//
+// The dataflow analyses of Knoop/Rüthing/Steffen's partial dead code
+// elimination (dead variables, delayability) are classic bit-vector
+// problems: one bit per variable or per assignment pattern, with
+// meet/join realized by word-parallel AND/OR. This package is the
+// shared representation for all of them.
+//
+// A Vector has a fixed length chosen at creation time. Operations that
+// combine two vectors panic if the lengths differ: mixing vectors from
+// different analysis universes is always a programming error, and
+// failing loudly during development is preferable to silent truncation.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a dense bit vector of fixed length. The zero value is an
+// empty vector of length 0; use New to create a sized one.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a vector of n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewAllOnes returns a vector of n bits, all one.
+func NewAllOnes(n int) *Vector {
+	v := New(n)
+	v.SetAll()
+	return v
+}
+
+// Len returns the number of bits in v.
+func (v *Vector) Len() int { return v.n }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v *Vector) checkSame(w *Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i to one.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to zero.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Assign sets bit i to b.
+func (v *Vector) Assign(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// SetAll sets every bit to one.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// ClearAll sets every bit to zero.
+func (v *Vector) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// trim zeroes the unused high bits of the last word so that Equal,
+// Count and IsZero can operate word-wise.
+func (v *Vector) trim() {
+	if r := uint(v.n % wordBits); r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v *Vector) Copy() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of w. Lengths must match.
+func (v *Vector) CopyFrom(w *Vector) {
+	v.checkSame(w)
+	copy(v.words, w.words)
+}
+
+// And sets v = v AND w and reports whether v changed.
+func (v *Vector) And(w *Vector) bool {
+	v.checkSame(w)
+	changed := false
+	for i, x := range w.words {
+		old := v.words[i]
+		v.words[i] = old & x
+		if v.words[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Or sets v = v OR w and reports whether v changed.
+func (v *Vector) Or(w *Vector) bool {
+	v.checkSame(w)
+	changed := false
+	for i, x := range w.words {
+		old := v.words[i]
+		v.words[i] = old | x
+		if v.words[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot sets v = v AND NOT w and reports whether v changed.
+func (v *Vector) AndNot(w *Vector) bool {
+	v.checkSame(w)
+	changed := false
+	for i, x := range w.words {
+		old := v.words[i]
+		v.words[i] = old &^ x
+		if v.words[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Not sets v to its bitwise complement.
+func (v *Vector) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.trim()
+}
+
+// Equal reports whether v and w hold identical bits. Vectors of
+// different lengths are never equal.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i, x := range v.words {
+		if x != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether no bit is set.
+func (v *Vector) IsZero() bool {
+	for _, x := range v.words {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, x := range v.words {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// ForEach calls f for every set bit, in increasing index order.
+func (v *Vector) ForEach(f func(i int)) {
+	for wi, x := range v.words {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			f(wi*wordBits + b)
+			x &= x - 1
+		}
+	}
+}
+
+// Indices returns the indices of all set bits in increasing order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.Count())
+	v.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first — convenient
+// in test failure messages.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,38 @@
+package cfg
+
+import "pdce/internal/ir"
+
+// Clone returns a deep copy of the graph: fresh nodes with copied
+// statement slices and copied adjacency. Statements themselves are
+// immutable and shared.
+//
+// The optimizer drivers clone their input so the caller's graph is
+// never mutated, and the verifier clones to compare before/after.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name, byLabel: make(map[string]*Node, len(g.byLabel))}
+	c.nodes = make([]*Node, len(g.nodes))
+	for i, n := range g.nodes {
+		m := &Node{
+			ID:        n.ID,
+			Label:     n.Label,
+			Synthetic: n.Synthetic,
+			Stmts:     append([]ir.Stmt(nil), n.Stmts...),
+		}
+		c.nodes[i] = m
+		c.byLabel[m.Label] = m
+	}
+	for i, n := range g.nodes {
+		m := c.nodes[i]
+		m.succs = make([]*Node, len(n.succs))
+		for j, s := range n.succs {
+			m.succs[j] = c.nodes[s.ID]
+		}
+		m.preds = make([]*Node, len(n.preds))
+		for j, p := range n.preds {
+			m.preds[j] = c.nodes[p.ID]
+		}
+	}
+	c.Start = c.nodes[g.Start.ID]
+	c.End = c.nodes[g.End.ID]
+	return c
+}

@@ -1,0 +1,141 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a random valid graph: a backbone guaranteeing
+// start-reach and end-reach plus random extra edges.
+func randomGraph(seed int64, blocks int) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	ns := make([]*Node, blocks)
+	for i := range ns {
+		ns[i] = g.AddNode(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+	}
+	g.AddEdge(g.Start, ns[0])
+	for i := 0; i+1 < blocks; i++ {
+		g.AddEdge(ns[i], ns[i+1])
+	}
+	g.AddEdge(ns[blocks-1], g.End)
+	for i := 0; i < blocks; i++ {
+		a, b := ns[r.Intn(blocks)], ns[r.Intn(blocks)]
+		if a != b && !g.HasEdge(a, b) {
+			g.AddEdge(a, b)
+		}
+	}
+	MustValidate(g)
+	return g
+}
+
+// bruteDominates computes "a dominates b" by definition: removing a
+// from the graph must make b unreachable from start (or a == b).
+func bruteDominates(g *Graph, a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*Node]bool{a: true} // pretend a is removed
+	var stack []*Node
+	if g.Start != a {
+		stack = append(stack, g.Start)
+		seen[g.Start] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return false
+		}
+		for _, s := range n.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestDominatorsMatchBruteForce cross-validates the
+// Cooper-Harvey-Kennedy iterative dominator computation against the
+// by-definition algorithm on random (frequently irreducible) graphs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := randomGraph(seed, 4+int(seed%9))
+		dom := BuildDomTree(g)
+		for _, a := range g.Nodes() {
+			for _, b := range g.Nodes() {
+				want := bruteDominates(g, a, b)
+				got := dom.Dominates(a, b)
+				if got != want {
+					t.Fatalf("seed %d: Dominates(%s, %s) = %v, brute force says %v\n%s",
+						seed, a.Label, b.Label, got, want, g)
+				}
+			}
+		}
+	}
+}
+
+// TestIDomIsStrictDominatorMinimal: idom(n) strictly dominates n, and
+// no other strict dominator of n sits strictly between them.
+func TestIDomIsStrictDominatorMinimal(t *testing.T) {
+	for seed := int64(30); seed < 45; seed++ {
+		g := randomGraph(seed, 4+int(seed%7))
+		dom := BuildDomTree(g)
+		for _, n := range g.Nodes() {
+			if n == g.Start {
+				continue
+			}
+			id := dom.IDom(n)
+			if id == nil {
+				t.Fatalf("seed %d: reachable node %s has no idom", seed, n.Label)
+			}
+			if !bruteDominates(g, id, n) || id == n {
+				t.Fatalf("seed %d: idom(%s)=%s does not strictly dominate it", seed, n.Label, id.Label)
+			}
+			for _, d := range g.Nodes() {
+				if d == n || d == id {
+					continue
+				}
+				if bruteDominates(g, d, n) && bruteDominates(g, id, d) {
+					t.Fatalf("seed %d: %s sits between idom(%s)=%s and %s",
+						seed, d.Label, n.Label, id.Label, n.Label)
+				}
+			}
+		}
+	}
+}
+
+// TestDominanceFrontierDefinition checks DF against its definition: j
+// is in DF(n) iff n dominates some predecessor of j but does not
+// strictly dominate j.
+func TestDominanceFrontierDefinition(t *testing.T) {
+	for seed := int64(50); seed < 62; seed++ {
+		g := randomGraph(seed, 5+int(seed%6))
+		dom := BuildDomTree(g)
+		df := dom.DominanceFrontiers()
+		inDF := func(n, j *Node) bool {
+			for _, x := range df[n] {
+				if x == j {
+					return true
+				}
+			}
+			return false
+		}
+		for _, n := range g.Nodes() {
+			for _, j := range g.Nodes() {
+				want := false
+				for _, p := range j.Preds() {
+					if dom.Dominates(n, p) && !(dom.Dominates(n, j) && n != j) {
+						want = true
+					}
+				}
+				if got := inDF(n, j); got != want {
+					t.Fatalf("seed %d: DF(%s) contains %s = %v, definition says %v",
+						seed, n.Label, j.Label, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, in the visual style of
+// the paper's figures: rectangular nodes listing their statements,
+// synthetic nodes dashed. Useful with `cmd/pdce -dot`.
+func DOT(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.nodes {
+		var body string
+		if n.IsEmpty() {
+			body = n.Label
+		} else {
+			var lines []string
+			for _, s := range n.Stmts {
+				lines = append(lines, escapeDOT(s.String()))
+			}
+			body = n.Label + `\n` + strings.Join(lines, `\n`)
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", body)
+		if n.Synthetic {
+			attrs += ", style=dashed"
+		}
+		if n == g.Start || n == g.End {
+			attrs += ", shape=ellipse"
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", n.Label, attrs)
+	}
+	for _, e := range g.Edges() {
+		label := ""
+		if _, isBranch := e.From.Terminator(); isBranch {
+			if e.From.succs[0] == e.To {
+				label = " [label=\"T\"]"
+			} else {
+				label = " [label=\"F\"]"
+			}
+		}
+		fmt.Fprintf(&sb, "  %q -> %q%s;\n", e.From.Label, e.To.Label, label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,92 @@
+package cfg
+
+// ReversePostorder returns the nodes reachable from Start in reverse
+// postorder of a depth-first search — the canonical iteration order
+// for forward dataflow problems (predecessors tend to precede
+// successors, so round-robin passes converge quickly even on the
+// irreducible graphs the paper's Figure 5 exercises).
+func ReversePostorder(g *Graph) []*Node {
+	post := postorder(g)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Postorder returns the nodes reachable from Start in DFS postorder —
+// the preferred order for backward dataflow problems.
+func Postorder(g *Graph) []*Node {
+	return postorder(g)
+}
+
+func postorder(g *Graph) []*Node {
+	seen := make([]bool, len(g.nodes))
+	var out []*Node
+	// Iterative DFS; generated stress programs can be deep enough
+	// to make recursion risky.
+	type frame struct {
+		n    *Node
+		next int
+	}
+	stack := []frame{{n: g.Start}}
+	seen[g.Start.ID] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(top.n.succs) {
+			s := top.n.succs[top.next]
+			top.next++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, frame{n: s})
+			}
+			continue
+		}
+		out = append(out, top.n)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// ReachableFromStart returns, indexed by NodeID, whether each node is
+// reachable from Start.
+func ReachableFromStart(g *Graph) []bool {
+	seen := make([]bool, len(g.nodes))
+	var stack []*Node
+	push := func(n *Node) {
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			stack = append(stack, n)
+		}
+	}
+	push(g.Start)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range n.succs {
+			push(s)
+		}
+	}
+	return seen
+}
+
+// ReachesEnd returns, indexed by NodeID, whether each node can reach
+// End.
+func ReachesEnd(g *Graph) []bool {
+	seen := make([]bool, len(g.nodes))
+	var stack []*Node
+	push := func(n *Node) {
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			stack = append(stack, n)
+		}
+	}
+	push(g.End)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range n.preds {
+			push(p)
+		}
+	}
+	return seen
+}

@@ -1,0 +1,175 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdce/internal/ir"
+)
+
+// Format renders the graph in the low-level textual format accepted by
+// internal/parser.ParseCFG, so Format/ParseCFG round-trip:
+//
+//	graph "name"
+//	node 1 {
+//	  y := a+b
+//	}
+//	edge s 1
+//	edge 1 e
+//
+// Start and end nodes are implicit ("s" and "e"). Nodes appear in ID
+// order, edges in source-ID order; the rendering is deterministic.
+func (g *Graph) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q\n", g.Name)
+	for _, n := range g.nodes {
+		if n == g.Start || n == g.End {
+			continue
+		}
+		if n.Synthetic {
+			fmt.Fprintf(&sb, "node %s synthetic {\n", quoteLabel(n.Label))
+		} else {
+			fmt.Fprintf(&sb, "node %s {\n", quoteLabel(n.Label))
+		}
+		for _, s := range n.Stmts {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+		sb.WriteString("}\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "edge %s %s\n", quoteLabel(e.From.Label), quoteLabel(e.To.Label))
+	}
+	return sb.String()
+}
+
+// quoteLabel quotes labels containing characters outside the bare-word
+// alphabet of the parser.
+func quoteLabel(l string) string {
+	for _, r := range l {
+		if !(r == '_' || r == '.' || r >= '0' && r <= '9' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return fmt.Sprintf("%q", l)
+		}
+	}
+	if l == "" {
+		return `""`
+	}
+	return l
+}
+
+// String returns a compact human-oriented listing: one line per node
+// with its statements and successors. Used in error messages and by
+// cmd/figures.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, n := range g.nodes {
+		var parts []string
+		for _, s := range n.Stmts {
+			parts = append(parts, s.String())
+		}
+		body := strings.Join(parts, "; ")
+		var succ []string
+		for _, s := range n.succs {
+			succ = append(succ, s.Label)
+		}
+		line := fmt.Sprintf("%-8s [%s] -> %s", n.Label, body, strings.Join(succ, " "))
+		sb.WriteString(strings.TrimRight(line, " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Snapshot captures the statements of every node keyed by label, for
+// structural comparison in tests.
+func (g *Graph) Snapshot() map[string][]string {
+	m := make(map[string][]string, len(g.nodes))
+	for _, n := range g.nodes {
+		strs := make([]string, len(n.Stmts))
+		for i, s := range n.Stmts {
+			strs[i] = s.String()
+		}
+		m[n.Label] = strs
+	}
+	return m
+}
+
+// Diff compares two graphs structurally — same labels, same per-node
+// statements, same edges — and returns a human-readable description of
+// every discrepancy, or nil if the graphs are identical. Statement
+// order within a node is significant.
+func Diff(a, b *Graph) []string {
+	var diffs []string
+	as, bs := a.Snapshot(), b.Snapshot()
+	labels := make(map[string]bool)
+	for l := range as {
+		labels[l] = true
+	}
+	for l := range bs {
+		labels[l] = true
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	for _, l := range sorted {
+		sa, aOK := as[l]
+		sb, bOK := bs[l]
+		switch {
+		case !aOK:
+			diffs = append(diffs, fmt.Sprintf("node %s only in second graph", l))
+		case !bOK:
+			diffs = append(diffs, fmt.Sprintf("node %s only in first graph", l))
+		case strings.Join(sa, ";") != strings.Join(sb, ";"):
+			diffs = append(diffs, fmt.Sprintf("node %s: [%s] vs [%s]",
+				l, strings.Join(sa, "; "), strings.Join(sb, "; ")))
+		}
+	}
+	ae, be := edgeSet(a), edgeSet(b)
+	var edgeKeys []string
+	for k := range ae {
+		edgeKeys = append(edgeKeys, k)
+	}
+	for k := range be {
+		if !ae[k] {
+			edgeKeys = append(edgeKeys, k)
+		}
+	}
+	sort.Strings(edgeKeys)
+	for _, k := range edgeKeys {
+		switch {
+		case !ae[k]:
+			diffs = append(diffs, fmt.Sprintf("edge %s only in second graph", k))
+		case !be[k]:
+			diffs = append(diffs, fmt.Sprintf("edge %s only in first graph", k))
+		}
+	}
+	return diffs
+}
+
+func edgeSet(g *Graph) map[string]bool {
+	m := make(map[string]bool)
+	for _, e := range g.Edges() {
+		m[e.From.Label+"->"+e.To.Label] = true
+	}
+	return m
+}
+
+// Equal reports whether a and b are structurally identical (see Diff).
+func Equal(a, b *Graph) bool { return len(Diff(a, b)) == 0 }
+
+// PatternCounts tallies, per assignment pattern, the number of static
+// occurrences in the program — the quantity the paper's Definition 3.6
+// compares along paths.
+func PatternCounts(g *Graph) map[ir.Pattern]int {
+	m := make(map[ir.Pattern]int)
+	for _, n := range g.nodes {
+		for _, s := range n.Stmts {
+			if p, ok := ir.PatternOf(s); ok {
+				m[p]++
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,125 @@
+package cfg
+
+import "fmt"
+
+// IsCriticalEdge reports whether a->b is a critical edge: one leading
+// from a node with more than one successor to a node with more than
+// one predecessor (Section 2.1). Critical edges block both partial
+// redundancy elimination and partial dead code elimination, because an
+// insertion on such an edge cannot be placed in either endpoint
+// without affecting an unrelated path.
+func IsCriticalEdge(a, b *Node) bool {
+	return len(a.succs) > 1 && len(b.preds) > 1
+}
+
+// CountCriticalEdges returns the number of critical edges in g.
+func CountCriticalEdges(g *Graph) int {
+	c := 0
+	for _, e := range g.Edges() {
+		if IsCriticalEdge(e.From, e.To) {
+			c++
+		}
+	}
+	return c
+}
+
+// SplitCriticalEdges inserts a fresh synthetic node S_{m,n} into every
+// critical edge (m, n), exactly as Figure 8(b) of the paper prescribes,
+// and returns the inserted nodes. Branch-target order on m is
+// preserved, so branch semantics are unchanged.
+//
+// The paper's algorithm assumes this normalization has been performed;
+// core.PDE and core.PFE call it before transforming.
+func SplitCriticalEdges(g *Graph) []*Node {
+	var inserted []*Node
+	// Collect first: redirecting edges while iterating Edges()
+	// would skip successors.
+	var critical []Edge
+	for _, e := range g.Edges() {
+		if IsCriticalEdge(e.From, e.To) {
+			critical = append(critical, e)
+		}
+	}
+	for _, e := range critical {
+		label := fmt.Sprintf("S%s,%s", e.From.Label, e.To.Label)
+		// Guard against pathological label collisions (e.g. a
+		// user node literally named "S1,2").
+		base := label
+		for k := 2; ; k++ {
+			if _, taken := g.byLabel[label]; !taken {
+				break
+			}
+			label = fmt.Sprintf("%s#%d", base, k)
+		}
+		mid := g.AddNode(label)
+		mid.Synthetic = true
+		g.redirectEdge(e.From, e.To, mid)
+		inserted = append(inserted, mid)
+	}
+	return inserted
+}
+
+// SplitEdgeWith replaces the edge a->b with a->mid and mid->b,
+// preserving branch-target order on a. mid must be a freshly created,
+// unconnected node. Used by transformations that need an insertion
+// point on an edge neither endpoint can host (e.g. lazy code motion
+// inserting on an edge out of the empty start node).
+func (g *Graph) SplitEdgeWith(a, b, mid *Node) {
+	if len(mid.succs) != 0 || len(mid.preds) != 0 {
+		panic("cfg: SplitEdgeWith requires an unconnected middle node")
+	}
+	g.redirectEdge(a, b, mid)
+}
+
+// RemoveEmptySynthetic unlinks every synthetic node that is still
+// empty, reconnecting its unique predecessor to its unique successor —
+// the inverse of SplitCriticalEdges for nodes that never received an
+// insertion. Figures in the paper draw such nodes dashed; removing
+// them recovers the original branching structure for presentation.
+//
+// A synthetic node is only removed when the rejoined edge would not
+// create a duplicate edge.
+func RemoveEmptySynthetic(g *Graph) int {
+	removed := 0
+	for _, n := range g.nodes {
+		if !n.Synthetic || !n.IsEmpty() || len(n.preds) != 1 || len(n.succs) != 1 {
+			continue
+		}
+		p, s := n.preds[0], n.succs[0]
+		if p == n || s == n || g.HasEdge(p, s) {
+			continue
+		}
+		// Splice p -> n -> s into p -> s, preserving positions.
+		for i, x := range p.succs {
+			if x == n {
+				p.succs[i] = s
+			}
+		}
+		for i, x := range s.preds {
+			if x == n {
+				s.preds[i] = p
+			}
+		}
+		n.succs = nil
+		n.preds = nil
+		removed++
+	}
+	if removed > 0 {
+		g.compact()
+	}
+	return removed
+}
+
+// compact drops unlinked nodes from the node list and renumbers IDs.
+func (g *Graph) compact() {
+	kept := g.nodes[:0]
+	for _, n := range g.nodes {
+		if n == g.Start || n == g.End || len(n.preds) > 0 || len(n.succs) > 0 {
+			n.ID = NodeID(len(kept))
+			kept = append(kept, n)
+		} else {
+			delete(g.byLabel, n.Label)
+		}
+	}
+	g.nodes = kept
+}

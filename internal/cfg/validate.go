@@ -1,0 +1,92 @@
+package cfg
+
+import (
+	"fmt"
+
+	"pdce/internal/ir"
+)
+
+// Validate checks the structural invariants the paper assumes of a
+// flow graph (Section 2) and the ones this implementation additionally
+// relies on. It returns a list of violations (empty means valid):
+//
+//   - Start has no predecessors and End has no successors.
+//   - Start and End represent the empty statement (no statements).
+//   - Every node lies on a path from Start to End.
+//   - A Branch statement appears only as the last statement of its
+//     block, and a block with a Branch has exactly two successors.
+//   - Every non-end node has at least one successor.
+//   - Adjacency is consistent (a ∈ preds(b) iff b ∈ succs(a)).
+func Validate(g *Graph) []string {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	if len(g.Start.preds) != 0 {
+		bad("start node %s has %d predecessors", g.Start.Label, len(g.Start.preds))
+	}
+	if len(g.End.succs) != 0 {
+		bad("end node %s has %d successors", g.End.Label, len(g.End.succs))
+	}
+	if !g.Start.IsEmpty() {
+		bad("start node must be empty, has %d statements", len(g.Start.Stmts))
+	}
+	if !g.End.IsEmpty() {
+		bad("end node must be empty, has %d statements", len(g.End.Stmts))
+	}
+	fromStart := ReachableFromStart(g)
+	toEnd := ReachesEnd(g)
+	for _, n := range g.nodes {
+		if !fromStart[n.ID] {
+			bad("node %s is unreachable from start", n.Label)
+		}
+		if !toEnd[n.ID] {
+			bad("node %s cannot reach end", n.Label)
+		}
+		if n != g.End && len(n.succs) == 0 {
+			bad("node %s has no successors but is not the end node", n.Label)
+		}
+		for i, s := range n.Stmts {
+			if _, isBranch := s.(ir.Branch); isBranch {
+				if i != len(n.Stmts)-1 {
+					bad("node %s: branch statement at position %d is not last", n.Label, i)
+				} else if len(n.succs) != 2 {
+					bad("node %s: branch statement with %d successors (want 2)", n.Label, len(n.succs))
+				}
+			}
+		}
+		for _, s := range n.succs {
+			if !hasNode(s.preds, n) {
+				bad("edge %s->%s missing from %s's predecessor list", n.Label, s.Label, s.Label)
+			}
+		}
+		for _, p := range n.preds {
+			if !hasNode(p.succs, n) {
+				bad("edge %s->%s missing from %s's successor list", p.Label, n.Label, p.Label)
+			}
+		}
+	}
+	return errs
+}
+
+func hasNode(list []*Node, n *Node) bool {
+	for _, x := range list {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// MustValidate panics with all violations if g is invalid. Test
+// helpers and the transformation drivers use it to fail fast when an
+// intermediate program breaks an invariant.
+func MustValidate(g *Graph) {
+	if errs := Validate(g); len(errs) > 0 {
+		msg := "cfg: invalid graph " + g.Name + ":"
+		for _, e := range errs {
+			msg += "\n  " + e
+		}
+		panic(msg)
+	}
+}

@@ -1,0 +1,204 @@
+// Package copyprop implements global copy propagation: where a copy
+// x := y provably holds (x and y unmodified since the copy on every
+// incoming path), later uses of x are rewritten to y.
+//
+// In this repository the pass plays the role the paper assigns it in
+// footnote 1: Dhamdhere, Rosen and Zadeck's interleaving of code
+// motion and copy propagation [10] can remove the right-hand-side
+// computations of Figure 3's loop-invariant pair from the loop — but
+// the assignment to the pair's second variable stays behind, which
+// partial dead code elimination removes. The footnote-1 experiment in
+// the baseline tests and examples composes lcm + copyprop + dce to
+// reproduce exactly that gap.
+//
+// The analysis is a classic forward bit-vector problem over the copy
+// occurrences of the program (available copies): a copy is generated
+// by its occurrence, killed by any modification of either side, and
+// meets by intersection at joins.
+package copyprop
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// copyPair is a copy pattern x := y.
+type copyPair struct {
+	dst, src ir.Var
+}
+
+// table indexes the distinct copy patterns of a program.
+type table struct {
+	pairs []copyPair
+	index map[copyPair]int
+	// killedBy[v] lists the copy indices invalidated by a
+	// modification of v (copies with v on either side).
+	killedBy map[ir.Var][]int
+}
+
+func collect(g *cfg.Graph) *table {
+	t := &table{index: make(map[copyPair]int), killedBy: make(map[ir.Var][]int)}
+	for _, n := range g.Nodes() {
+		for _, s := range n.Stmts {
+			a, ok := s.(ir.Assign)
+			if !ok {
+				continue
+			}
+			ref, ok := a.RHS.(ir.VarRef)
+			if !ok || ref.Name == a.LHS {
+				continue // not a copy, or the no-op x := x
+			}
+			p := copyPair{dst: a.LHS, src: ref.Name}
+			if _, dup := t.index[p]; dup {
+				continue
+			}
+			i := len(t.pairs)
+			t.pairs = append(t.pairs, p)
+			t.index[p] = i
+			t.killedBy[p.dst] = append(t.killedBy[p.dst], i)
+			t.killedBy[p.src] = append(t.killedBy[p.src], i)
+		}
+	}
+	return t
+}
+
+// step updates the available-copies vector across one statement.
+func (t *table) step(s ir.Stmt, v *bitvec.Vector) {
+	d, ok := ir.Def(s)
+	if !ok {
+		return
+	}
+	for _, i := range t.killedBy[d] {
+		v.Clear(i)
+	}
+	if a := s.(ir.Assign); true {
+		if ref, isRef := a.RHS.(ir.VarRef); isRef && ref.Name != a.LHS {
+			if i, known := t.index[copyPair{dst: a.LHS, src: ref.Name}]; known {
+				v.Set(i)
+			}
+		}
+	}
+}
+
+type copyProblem struct {
+	t    *table
+	bits int
+}
+
+func (p *copyProblem) Bits() int                     { return p.bits }
+func (p *copyProblem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *copyProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *copyProblem) Boundary() *bitvec.Vector      { return bitvec.New(p.bits) }
+func (p *copyProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+func (p *copyProblem) Transfer(n *cfg.Node, in, out *bitvec.Vector) {
+	out.CopyFrom(in)
+	for _, s := range n.Stmts {
+		p.t.step(s, out)
+	}
+}
+
+// Stats describes an Apply run.
+type Stats struct {
+	// Rewritten counts statements whose uses were substituted.
+	Rewritten int
+	// Passes counts analysis+rewrite sweeps until the fixpoint
+	// (propagating a copy can expose another).
+	Passes int
+}
+
+// Changed reports whether the pass altered the program.
+func (s Stats) Changed() bool { return s.Rewritten > 0 }
+
+// Apply propagates copies in g in place until no further substitution
+// applies. Only uses are rewritten; removing the then-dead copies is
+// deliberately left to the elimination passes (core.EliminateDead and
+// friends), keeping each pass single-purpose.
+func Apply(g *cfg.Graph) Stats {
+	var st Stats
+	// Each pass shortens copy chains (substitution always moves a
+	// use to an older, stable value), so the fixpoint arrives within
+	// a chain-length number of passes; the cap turns a hypothetical
+	// implementation bug into visible truncation instead of a hang.
+	limit := g.NumStmts() + 10
+	for st.Passes < limit {
+		st.Passes++
+		rewritten := applyOnce(g)
+		if rewritten == 0 {
+			return st
+		}
+		st.Rewritten += rewritten
+	}
+	return st
+}
+
+func applyOnce(g *cfg.Graph) int {
+	t := collect(g)
+	if len(t.pairs) == 0 {
+		return 0
+	}
+	sol := dataflow.Solve(g, &copyProblem{t: t, bits: len(t.pairs)})
+
+	rewritten := 0
+	for _, n := range g.Nodes() {
+		avail := sol.In[n.ID].Copy()
+		for si, s := range n.Stmts {
+			// Build the substitution valid at this point:
+			// dst ↦ src for every available copy. Chains
+			// (x:=y available and y:=z available) resolve
+			// across the outer fixpoint iterations.
+			subst := make(map[ir.Var]ir.Var)
+			avail.ForEach(func(i int) {
+				p := t.pairs[i]
+				if _, dup := subst[p.dst]; !dup {
+					subst[p.dst] = p.src
+				}
+			})
+			if len(subst) > 0 {
+				if ns, changed := rewriteStmt(s, subst); changed {
+					n.Stmts[si] = ns
+					s = ns
+					rewritten++
+				}
+			}
+			t.step(s, avail)
+		}
+	}
+	return rewritten
+}
+
+// rewriteStmt substitutes uses in one statement. The left-hand side of
+// an assignment is a definition, never a use, and stays.
+func rewriteStmt(s ir.Stmt, subst map[ir.Var]ir.Var) (ir.Stmt, bool) {
+	switch st := s.(type) {
+	case ir.Assign:
+		rhs := ir.SubstVars(st.RHS, subst)
+		if ir.ExprEqual(rhs, st.RHS) {
+			return s, false
+		}
+		return ir.Assign{LHS: st.LHS, RHS: rhs}, true
+	case ir.Out:
+		arg := ir.SubstVars(st.Arg, subst)
+		if ir.ExprEqual(arg, st.Arg) {
+			return s, false
+		}
+		return ir.Out{Arg: arg}, true
+	case ir.Branch:
+		cond := ir.SubstVars(st.Cond, subst)
+		if ir.ExprEqual(cond, st.Cond) {
+			return s, false
+		}
+		return ir.Branch{Cond: cond}, true
+	}
+	return s, false
+}
+
+// Optimize is the non-destructive entry point: it clones g, applies
+// copy propagation, and returns the result.
+func Optimize(g *cfg.Graph) (*cfg.Graph, Stats) {
+	out := g.Clone()
+	st := Apply(out)
+	return out, st
+}

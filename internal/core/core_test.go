@@ -1,0 +1,440 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/parser"
+)
+
+func parse(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g, err := parser.ParseCFG(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func stmtsOf(t *testing.T, g *cfg.Graph, label string) string {
+	t.Helper()
+	n, ok := g.NodeByLabel(label)
+	if !ok {
+		t.Fatalf("no node %q", label)
+	}
+	var parts []string
+	for _, s := range n.Stmts {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// --- Sink step in isolation ---------------------------------------------
+
+func TestSinkMovesPastNonBlockingStatement(t *testing.T) {
+	g := parse(t, `
+node 1 { x := a+b; c := 1 }
+node 2 { out(x+c) }
+edge s 1
+edge 1 2
+edge 2 e
+`)
+	st := core.Sink(g)
+	if !st.Changed() {
+		t.Fatal("sink reported no change")
+	}
+	// Both assignments are candidates and move to the entry of the
+	// block holding the blocking use.
+	if got := stmtsOf(t, g, "2"); got != "x := a+b; c := 1; out(x+c)" {
+		t.Errorf("node 2 = %q", got)
+	}
+	if got := stmtsOf(t, g, "1"); got != "" {
+		t.Errorf("node 1 = %q, want empty", got)
+	}
+}
+
+func TestSinkKeepsCandidateInPlaceAtFrontier(t *testing.T) {
+	// x := a+b is already as late as possible: its block's successor
+	// join is not delayed on the other path. X-INSERT = LOCDELAYED,
+	// so the statement must not churn.
+	g := parse(t, `
+node 0 {}
+node 1 { x := a+b }
+node 2 {}
+node 3 { out(x) }
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	before := g.Format()
+	st := core.Sink(g)
+	if st.Changed() {
+		t.Errorf("stable placement was changed:\n%s", g.Format())
+	}
+	if g.Format() != before {
+		t.Error("graph text changed despite no-op report")
+	}
+	if !core.SinkStable(g) {
+		t.Error("SinkStable disagrees")
+	}
+}
+
+func TestSinkDropsAssignmentDeadToEnd(t *testing.T) {
+	// Nothing downstream uses x: delayability runs off the end node
+	// and the assignment simply disappears (an admissible pde
+	// sequence).
+	g := parse(t, `
+node 1 { x := a+b; out(b) }
+edge s 1
+edge 1 e
+`)
+	// x := a+b is blocked by nothing after it... out(b) does not
+	// block it (x unused), so it is a candidate and sinks off the
+	// program.
+	st := core.Sink(g)
+	if st.RemovedCandidates != 1 || st.InsertedEntry+st.InsertedExit != 0 {
+		t.Errorf("stats = %+v, want pure removal", st)
+	}
+	if got := stmtsOf(t, g, "1"); got != "out(b)" {
+		t.Errorf("node 1 = %q", got)
+	}
+}
+
+func TestSinkManyToOne(t *testing.T) {
+	// Figure 7 shape: candidates in both predecessors, single
+	// justified insertion at the join's use.
+	g := parse(t, `
+node 0 {}
+node 1 { a := a+1 }
+node 2 { a := a+1 }
+node 3 { out(a) }
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	st := core.Sink(g)
+	if st.RemovedCandidates != 2 {
+		t.Errorf("removed %d candidates, want 2", st.RemovedCandidates)
+	}
+	if st.InsertedEntry != 1 {
+		t.Errorf("inserted %d at entries, want exactly 1", st.InsertedEntry)
+	}
+	if got := stmtsOf(t, g, "3"); got != "a := a+1; out(a)" {
+		t.Errorf("node 3 = %q", got)
+	}
+}
+
+func TestSinkRefusesUnjustifiedJoin(t *testing.T) {
+	// Candidate only in one predecessor of the join: insertion at
+	// the join would not be justified on the other path, so the
+	// assignment must stop at the frontier (its own block's exit).
+	g := parse(t, `
+node 0 {}
+node 1 { x := a+b }
+node 2 {}
+node 3 { out(x) }
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	core.Sink(g)
+	if got := stmtsOf(t, g, "3"); got != "out(x)" {
+		t.Errorf("join received an unjustified insertion: %q", got)
+	}
+	if got := stmtsOf(t, g, "1"); got != "x := a+b" {
+		t.Errorf("node 1 = %q", got)
+	}
+}
+
+// --- Eliminate steps in isolation ----------------------------------------
+
+func TestEliminateDeadRemovesOnlyDead(t *testing.T) {
+	g := parse(t, `
+node 1 { x := 1; y := 2; out(x) }
+edge s 1
+edge 1 e
+`)
+	st := core.EliminateDead(g)
+	if st.Removed != 1 {
+		t.Errorf("removed %d, want 1", st.Removed)
+	}
+	if got := stmtsOf(t, g, "1"); got != "x := 1; out(x)" {
+		t.Errorf("node 1 = %q", got)
+	}
+}
+
+func TestEliminateDeadNeedsIterationForChains(t *testing.T) {
+	g := parse(t, `
+node 1 { a := 1; b := a+1; out(0) }
+edge s 1
+edge 1 e
+`)
+	st1 := core.EliminateDead(g)
+	if st1.Removed != 1 {
+		t.Fatalf("first round removed %d, want 1 (only the chain tail)", st1.Removed)
+	}
+	st2 := core.EliminateDead(g)
+	if st2.Removed != 1 {
+		t.Fatalf("second round removed %d, want 1 (the now-dead head)", st2.Removed)
+	}
+	if got := stmtsOf(t, g, "1"); got != "out(0)" {
+		t.Errorf("node 1 = %q", got)
+	}
+}
+
+func TestEliminateFaintRemovesChainAtOnce(t *testing.T) {
+	g := parse(t, `
+node 1 { a := 1; b := a+1; out(0) }
+edge s 1
+edge 1 e
+`)
+	st := core.EliminateFaint(g)
+	if st.Removed != 2 {
+		t.Errorf("removed %d, want the whole chain in one step", st.Removed)
+	}
+}
+
+func TestEliminateKeepsBranchOperands(t *testing.T) {
+	g := parse(t, `
+node 1 { c := n+1; branch(c>0) }
+node 2 { out(1) }
+node 3 { out(2) }
+node 4 {}
+edge s 1
+edge 1 2
+edge 1 3
+edge 2 4
+edge 3 4
+edge 4 e
+`)
+	if st := core.EliminateFaint(g); st.Removed != 0 {
+		t.Error("assignment feeding a branch condition eliminated")
+	}
+}
+
+// --- Driver behaviours ----------------------------------------------------
+
+func TestTransformRejectsInvalidGraph(t *testing.T) {
+	g := cfg.New("bad")
+	g.AddNode("floating")
+	if _, _, err := core.PDE(g); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestTransformStatsShape(t *testing.T) {
+	g := parse(t, `
+node 1 { y := a+b }
+node 2 {}
+node 3 { y := c }
+node 4 {}
+node 5 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 e
+`)
+	_, st, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 2 {
+		t.Errorf("Rounds = %d, want ≥ 2 (a changing round plus the confirming one)", st.Rounds)
+	}
+	if st.OriginalStmts != 3 || st.FinalStmts != 3 {
+		t.Errorf("stmt accounting: %d -> %d, want 3 -> 3", st.OriginalStmts, st.FinalStmts)
+	}
+	if st.PeakStmts < st.OriginalStmts {
+		t.Error("PeakStmts below original")
+	}
+	if st.GrowthFactor() < 1 {
+		t.Errorf("growth factor %f < 1", st.GrowthFactor())
+	}
+	if st.Eliminated != 1 {
+		t.Errorf("Eliminated = %d, want 1 (the copy killed by y := c)", st.Eliminated)
+	}
+}
+
+// TestWhileLoopPairStaysPut documents the algorithm's necessary
+// conservatism: in a zero-trip (top-test) while loop the invariant
+// pair must NOT be sunk out of the loop. An instance inserted after
+// the loop would execute on the zero-iteration path where no original
+// occurrence ran — violating Definition 3.2's justification condition
+// and Definition 3.6's never-more-work guarantee.
+func TestWhileLoopPairStaysPut(t *testing.T) {
+	g, err := parser.ParseSource("p", `
+sum := 0
+i := n
+while i > 0 {
+    scale := base * 4
+    bias := scale + off
+    sum := sum + i
+    i := i - 1
+}
+if * {
+    out(sum + bias)
+} else {
+    out(sum)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair must still be inside the loop body (the block that
+	// latches back to the header).
+	foundInLoop := false
+	for _, n := range opt.Nodes() {
+		body := strings.Contains(nodeText(n), "scale := base*4")
+		if !body {
+			continue
+		}
+		// Does this node lie on a cycle?
+		if onCycle(n) {
+			foundInLoop = true
+		}
+	}
+	if !foundInLoop {
+		t.Errorf("invariant pair left a zero-trip while loop:\n%s", opt)
+	}
+}
+
+func nodeText(n *cfg.Node) string {
+	var parts []string
+	for _, s := range n.Stmts {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+func onCycle(n *cfg.Node) bool {
+	seen := map[*cfg.Node]bool{}
+	stack := append([]*cfg.Node(nil), n.Succs()...)
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m == n {
+			return true
+		}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		stack = append(stack, m.Succs()...)
+	}
+	return false
+}
+
+// TestDoWhilePairLeavesLoop is the positive counterpart: with a
+// post-test loop the same pair fully leaves the loop (Figure 3/4).
+func TestDoWhilePairLeavesLoop(t *testing.T) {
+	g, err := parser.ParseSource("p", `
+sum := 0
+i := n
+do {
+    scale := base * 4
+    bias := scale + off
+    sum := sum + i
+    i := i - 1
+} while i > 0
+if * {
+    out(sum + bias)
+} else {
+    out(sum)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range opt.Nodes() {
+		if strings.Contains(nodeText(n), "scale := base*4") && onCycle(n) {
+			t.Errorf("invariant pair still on a cycle:\n%s", opt)
+		}
+	}
+}
+
+// TestModeString covers the Stringer.
+func TestModeString(t *testing.T) {
+	if core.ModeDead.String() != "pde" || core.ModeFaint.String() != "pfe" {
+		t.Error("mode names wrong")
+	}
+}
+
+// TestSinkInsertOrderDeterministic: multiple patterns inserted at one
+// point appear in a stable order across runs.
+func TestSinkInsertOrderDeterministic(t *testing.T) {
+	src := `
+node 1 { x := a+b; y := c+d }
+node 2 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 e
+`
+	first := ""
+	for i := 0; i < 5; i++ {
+		g := parse(t, src)
+		core.Sink(g)
+		got := stmtsOf(t, g, "2")
+		if first == "" {
+			first = got
+		} else if got != first {
+			t.Fatalf("nondeterministic insertion order: %q vs %q", got, first)
+		}
+	}
+	if !strings.HasPrefix(first, "x := a+b; y := c+d") {
+		t.Errorf("insertion order = %q, want pattern-table order", first)
+	}
+}
+
+// TestSelfReferentialPatternSinks: x := x+1 both uses and defines x;
+// it must still sink to its use like any other pattern.
+func TestSelfReferentialPatternSinks(t *testing.T) {
+	g := parse(t, `
+node 1 { x := x+1; junk := 0 }
+node 2 {}
+node 3 { out(x) }
+node 4 { out(junk) }
+node 5 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 e
+`)
+	opt, _, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmtsOf(t, opt, "3"); got != "x := x+1; out(x)" {
+		t.Errorf("node 3 = %q", got)
+	}
+	if got := stmtsOf(t, opt, "4"); got != "junk := 0; out(junk)" {
+		t.Errorf("node 4 = %q", got)
+	}
+	if got := stmtsOf(t, opt, "1"); got != "" {
+		t.Errorf("node 1 = %q, want empty", got)
+	}
+}

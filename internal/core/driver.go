@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"pdce/internal/cfg"
+)
+
+// Mode selects the elimination power of the driver.
+type Mode int
+
+// Driver modes.
+const (
+	// ModeDead alternates assignment sinking with dead code
+	// elimination — the paper's pde.
+	ModeDead Mode = iota
+	// ModeFaint alternates assignment sinking with faint code
+	// elimination — the paper's pfe.
+	ModeFaint
+)
+
+func (m Mode) String() string {
+	if m == ModeFaint {
+		return "pfe"
+	}
+	return "pde"
+}
+
+// Options configures the driver.
+type Options struct {
+	// Mode selects pde (dead) or pfe (faint).
+	Mode Mode
+
+	// MaxRounds limits the number of eliminate+sink rounds; 0 means
+	// iterate to the fixpoint. The paper suggests such limits as a
+	// practical heuristic (Section 7); with a limit the result may
+	// be suboptimal but is still correct.
+	MaxRounds int
+
+	// KeepSynthetic retains empty synthetic nodes from
+	// critical-edge splitting in the result. By default they are
+	// removed again (the paper draws them dashed; only the ones
+	// that received an insertion materialize, like S4,5 in
+	// Figure 6).
+	KeepSynthetic bool
+
+	// Hot, when non-nil, localizes the optimization to the blocks
+	// it accepts — the paper's Section 7 "hot areas" heuristic.
+	// Cold blocks are left textually untouched: no code moves out
+	// of, into, or through them (arriving code stops at their
+	// entry), and nothing inside them is eliminated.
+	Hot HotPredicate
+
+	// Observe, when non-nil, is called after every elimination and
+	// sinking phase with a snapshot of the intermediate program —
+	// the way to watch the paper's second-order effects unfold.
+	// Snapshotting clones the graph, so leave this nil in
+	// performance-sensitive runs.
+	Observe func(PhaseEvent)
+}
+
+// PhaseEvent describes one completed phase of the fixpoint iteration.
+type PhaseEvent struct {
+	// Round is the 1-based round number; Phase is "eliminate" or
+	// "sink".
+	Round int
+	Phase string
+	// Changed reports whether the phase altered the program;
+	// Removed and Inserted count its statement-level effects.
+	Changed           bool
+	Removed, Inserted int
+	// Graph is an isolated snapshot of the program after the phase.
+	Graph *cfg.Graph
+}
+
+// Stats describes a full driver run.
+type Stats struct {
+	// Rounds is the number of eliminate+sink rounds executed
+	// (including the final round that confirmed stability) — the
+	// paper's iteration count r.
+	Rounds int
+
+	// Eliminated is the total number of assignments removed by
+	// elimination steps; RemovedBySinking counts candidates whose
+	// removal was not matched by any insertion (they sank off the
+	// end of the program); Inserted counts materialized instances.
+	Eliminated       int
+	Inserted         int
+	SinkRemoved      int
+	CriticalEdges    int
+	SyntheticRemoved int
+
+	// OriginalStmts, FinalStmts and PeakStmts track code size; the
+	// paper's growth factor w is PeakStmts/OriginalStmts
+	// (Section 6.2).
+	OriginalStmts, FinalStmts, PeakStmts int
+
+	// ElimSolverWork and SinkSolverWork accumulate analysis effort.
+	ElimSolverWork, SinkSolverWork int
+}
+
+// GrowthFactor returns the paper's w: the maximal factor by which the
+// instruction count grew during the run.
+func (s Stats) GrowthFactor() float64 {
+	if s.OriginalStmts == 0 {
+		return 1
+	}
+	return float64(s.PeakStmts) / float64(s.OriginalStmts)
+}
+
+// errInvalid and errNoFixpoint keep error texts consistent between the
+// deterministic and the chaotic driver.
+func errInvalid(msg string) error {
+	return fmt.Errorf("core: invalid graph: %s", msg)
+}
+
+func errNoFixpoint(mode Mode, limit int) error {
+	return fmt.Errorf("core: %s did not stabilize within %d rounds (implementation bug)", mode, limit)
+}
+
+// roundCap returns the safety bound on driver rounds. Termination is
+// guaranteed by the paper's Theorem 3.7; the cap converts a potential
+// implementation bug from a hang into an error.
+func roundCap(g *cfg.Graph) int {
+	return 10*g.NumStmts() + 10*g.NumNodes() + 100
+}
+
+// Transform runs partial dead (faint) code elimination on a copy of g
+// and returns the optimized program. The input graph is not modified.
+//
+// The driver first splits critical edges (Section 2.1), then
+// alternates elimination and sinking until neither changes the
+// program (Section 5.4). Eliminating before sinking lets the first
+// sinking step start from a minimal program; the fixpoint is
+// independent of this order (Theorem 3.7: any chaotic iteration that
+// applies both transformations sufficiently often reaches the optimum).
+func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
+	if errs := cfg.Validate(g); len(errs) > 0 {
+		return nil, Stats{}, fmt.Errorf("core: invalid input graph: %s", errs[0])
+	}
+	out := g.Clone()
+	var st Stats
+	st.OriginalStmts = out.NumStmts()
+	st.PeakStmts = st.OriginalStmts
+	st.CriticalEdges = len(cfg.SplitCriticalEdges(out))
+
+	var hot HotPredicate
+	if opt.Hot != nil {
+		hot = effectiveHot(opt.Hot)
+	}
+	eliminate := func() ElimStats {
+		switch {
+		case hot != nil && opt.Mode == ModeFaint:
+			return eliminateFaintHot(out, hot)
+		case hot != nil:
+			return eliminateDeadHot(out, hot)
+		case opt.Mode == ModeFaint:
+			return EliminateFaint(out)
+		default:
+			return EliminateDead(out)
+		}
+	}
+	sink := func() SinkStats {
+		if hot != nil {
+			return sinkHot(out, hot)
+		}
+		return Sink(out)
+	}
+
+	limit := roundCap(out)
+	for {
+		st.Rounds++
+		if st.Rounds > limit {
+			return nil, st, fmt.Errorf("core: %s did not stabilize within %d rounds (implementation bug)", opt.Mode, limit)
+		}
+
+		e := eliminate()
+		st.Eliminated += e.Removed
+		st.ElimSolverWork += e.SolverWork
+		if opt.Observe != nil {
+			opt.Observe(PhaseEvent{
+				Round: st.Rounds, Phase: "eliminate",
+				Changed: e.Changed(), Removed: e.Removed,
+				Graph: out.Clone(),
+			})
+		}
+
+		s := sink()
+		st.Inserted += s.InsertedEntry + s.InsertedExit
+		st.SinkRemoved += s.RemovedCandidates
+		st.SinkSolverWork += s.SolverVisits
+		if opt.Observe != nil {
+			opt.Observe(PhaseEvent{
+				Round: st.Rounds, Phase: "sink",
+				Changed:  s.Changed(),
+				Removed:  s.RemovedCandidates,
+				Inserted: s.InsertedEntry + s.InsertedExit,
+				Graph:    out.Clone(),
+			})
+		}
+		if n := out.NumStmts(); n > st.PeakStmts {
+			st.PeakStmts = n
+		}
+
+		if !e.Changed() && !s.Changed() {
+			break
+		}
+		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
+			break
+		}
+	}
+
+	if !opt.KeepSynthetic {
+		st.SyntheticRemoved = cfg.RemoveEmptySynthetic(out)
+	}
+	st.FinalStmts = out.NumStmts()
+	if errs := cfg.Validate(out); len(errs) > 0 {
+		return nil, st, fmt.Errorf("core: %s produced invalid graph: %s", opt.Mode, errs[0])
+	}
+	return out, st, nil
+}
+
+// PDE runs partial dead code elimination (sinking + dead code
+// elimination) to its fixpoint.
+func PDE(g *cfg.Graph) (*cfg.Graph, Stats, error) {
+	return Transform(g, Options{Mode: ModeDead})
+}
+
+// PFE runs partial faint code elimination (sinking + faint code
+// elimination) to its fixpoint.
+func PFE(g *cfg.Graph) (*cfg.Graph, Stats, error) {
+	return Transform(g, Options{Mode: ModeFaint})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"pdce/internal/analysis"
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// ElimStats describes one application of an elimination step.
+type ElimStats struct {
+	// Removed is the number of assignments eliminated.
+	Removed int
+	// SolverWork is analysis effort: block visits for the dead
+	// analysis, slot updates for the faint analysis.
+	SolverWork int
+}
+
+// Changed reports whether the elimination altered the program.
+func (s ElimStats) Changed() bool { return s.Removed > 0 }
+
+// EliminateDead performs one dead code elimination step (`dce`) on g
+// in place: it solves the dead-variable system of Table 1 and then
+// processes every basic block, eliminating each assignment whose
+// left-hand-side variable is dead immediately after it (Section 5.2,
+// "The Elimination Step").
+//
+// All removals are justified by the single greatest solution computed
+// up front; cascading effects (elimination-elimination, Section 4.4)
+// are second-order and handled by the driver's re-iteration.
+func EliminateDead(g *cfg.Graph) ElimStats {
+	var st ElimStats
+	dead := analysis.DeadVars(g)
+	st.SolverWork = dead.Stats.NodeVisits
+	for _, n := range g.Nodes() {
+		if len(n.Stmts) == 0 {
+			continue
+		}
+		xd := dead.InstrXDead(n)
+		kept := n.Stmts[:0]
+		for si, s := range n.Stmts {
+			if a, ok := s.(ir.Assign); ok {
+				if vi, known := dead.Vars.Index(a.LHS); known && xd[si].Get(vi) {
+					st.Removed++
+					continue
+				}
+			}
+			kept = append(kept, s)
+		}
+		n.Stmts = kept
+	}
+	return st
+}
+
+// EliminateFaint performs one faint code elimination step (`fce`) on g
+// in place, eliminating each assignment whose left-hand-side variable
+// is faint immediately after it. Faintness subsumes deadness, so every
+// dce removal is also an fce removal; fce additionally removes
+// mutually-sustaining useless assignments (Figure 9, Figure 12).
+func EliminateFaint(g *cfg.Graph) ElimStats {
+	var st ElimStats
+	faint := analysis.FaintVars(g)
+	st.SolverWork = faint.SlotUpdates
+	for _, n := range g.Nodes() {
+		if len(n.Stmts) == 0 {
+			continue
+		}
+		kept := n.Stmts[:0]
+		for si, s := range n.Stmts {
+			if a, ok := s.(ir.Assign); ok && faint.FaintAfter(n, si, a.LHS) {
+				st.Removed++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		n.Stmts = kept
+	}
+	return st
+}

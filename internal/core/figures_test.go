@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/figures"
+)
+
+// TestFigures runs pde and pfe over every paper figure and compares
+// the result with the paper's expected transformation.
+func TestFigures(t *testing.T) {
+	for _, fig := range figures.All() {
+		fig := fig
+		t.Run(fig.Name, func(t *testing.T) {
+			in := fig.Graph()
+			before := in.Format()
+
+			if want := fig.PDEGraph(); want != nil {
+				got, st, err := core.PDE(in)
+				if err != nil {
+					t.Fatalf("PDE: %v", err)
+				}
+				if diffs := cfg.Diff(got, want); len(diffs) > 0 {
+					t.Errorf("PDE result mismatch (rounds=%d):\n  %s\ngot:\n%s\nwant:\n%s",
+						st.Rounds, strings.Join(diffs, "\n  "), got, want)
+				}
+			}
+			if want := fig.PFEGraph(); want != nil {
+				got, st, err := core.PFE(in)
+				if err != nil {
+					t.Fatalf("PFE: %v", err)
+				}
+				if diffs := cfg.Diff(got, want); len(diffs) > 0 {
+					t.Errorf("PFE result mismatch (rounds=%d):\n  %s\ngot:\n%s\nwant:\n%s",
+						st.Rounds, strings.Join(diffs, "\n  "), got, want)
+				}
+			}
+			if after := in.Format(); after != before {
+				t.Errorf("input graph was mutated by the driver:\nbefore:\n%s\nafter:\n%s", before, after)
+			}
+		})
+	}
+}
+
+// TestFiguresIdempotent checks that re-running the driver on its own
+// output changes nothing — the fixpoint property of Section 5.4.
+func TestFiguresIdempotent(t *testing.T) {
+	for _, fig := range figures.All() {
+		fig := fig
+		t.Run(fig.Name, func(t *testing.T) {
+			for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+				once, _, err := core.Transform(fig.Graph(), core.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				twice, st, err := core.Transform(once, core.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("%v second run: %v", mode, err)
+				}
+				if diffs := cfg.Diff(once, twice); len(diffs) > 0 {
+					t.Errorf("%v not idempotent (rounds=%d):\n  %s", mode, st.Rounds, strings.Join(diffs, "\n  "))
+				}
+			}
+		})
+	}
+}

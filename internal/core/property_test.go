@@ -1,0 +1,263 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/ir"
+	"pdce/internal/progen"
+	"pdce/internal/verify"
+)
+
+// randomPrograms yields a spread of generated workloads: structured
+// programs of varying shapes and irreducible arbitrary graphs.
+func randomPrograms(tb testing.TB, count int) []*cfg.Graph {
+	tb.Helper()
+	var out []*cfg.Graph
+	for seed := 0; seed < count; seed++ {
+		params := []progen.Params{
+			{Seed: int64(seed), Stmts: 30},
+			{Seed: int64(seed), Stmts: 60, Vars: 4, LoopProb: 0.2, BranchProb: 0.3},
+			{Seed: int64(seed), Stmts: 45, Vars: 12, CondProb: 0.9},
+			{Seed: int64(seed), Stmts: 40, Irreducible: true},
+		}
+		for _, p := range params {
+			out = append(out, progen.Generate(p))
+		}
+	}
+	return out
+}
+
+// TestTransformPreservesSemantics replays executions of random
+// programs against their pde/pfe results: identical outputs (up to
+// fault reduction) and no impaired execution.
+func TestTransformPreservesSemantics(t *testing.T) {
+	for _, g := range randomPrograms(t, 12) {
+		for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+			opt, _, err := core.Transform(g, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", g.Name, mode, err)
+			}
+			rep := verify.CheckTransformed(g, opt, verify.Options{Seeds: 24, Fuel: 512})
+			if !rep.OK() {
+				t.Errorf("%s/%v: %s\noriginal:\n%s\ntransformed:\n%s",
+					g.Name, mode, rep, g, opt)
+			}
+		}
+	}
+}
+
+// TestTransformWithFaultsPreservesSemantics exercises the permitted
+// semantics change: programs with division can only lose run-time
+// errors, never gain them.
+func TestTransformWithFaultsPreservesSemantics(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		g := progen.Generate(progen.Params{Seed: int64(seed), Stmts: 40, DivProb: 0.3, Vars: 5})
+		opt, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		rep := verify.CheckTransformed(g, opt, verify.Options{Seeds: 32, Fuel: 512})
+		if !rep.OK() {
+			t.Errorf("%s: %s", g.Name, rep)
+		}
+	}
+}
+
+// TestTransformIdempotentRandom re-runs the driver on its own output.
+func TestTransformIdempotentRandom(t *testing.T) {
+	for _, g := range randomPrograms(t, 6) {
+		for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+			once, _, err := core.Transform(g, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", g.Name, mode, err)
+			}
+			twice, _, err := core.Transform(once, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%v second: %v", g.Name, mode, err)
+			}
+			if diffs := cfg.Diff(once, twice); len(diffs) > 0 {
+				t.Errorf("%s/%v not idempotent:\n  %s", g.Name, mode, strings.Join(diffs, "\n  "))
+			}
+		}
+	}
+}
+
+// TestPFEAtLeastAsStrongAsPDE: everything pde achieves, pfe achieves
+// too — the pfe result never has more statements, and its dynamic
+// assignment counts never exceed pde's.
+func TestPFEAtLeastAsStrongAsPDE(t *testing.T) {
+	for _, g := range randomPrograms(t, 8) {
+		pde, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		pfe, _, err := core.PFE(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if pfe.NumStmts() > pde.NumStmts() {
+			t.Errorf("%s: pfe kept %d statements, pde only %d", g.Name, pfe.NumStmts(), pde.NumStmts())
+		}
+		imp := verify.MeasureImprovement(pde, pfe, 16, 512)
+		if imp.OptAssigns > imp.OrigAssigns {
+			t.Errorf("%s: pfe executes more assignments (%d) than pde (%d)",
+				g.Name, imp.OptAssigns, imp.OrigAssigns)
+		}
+	}
+}
+
+// TestStaticBetterOnAcyclic checks Definition 3.6 literally on acyclic
+// programs: the transformed program is at least as good as the
+// original on every path.
+func TestStaticBetterOnAcyclic(t *testing.T) {
+	checked := 0
+	for seed := 0; seed < 40 && checked < 15; seed++ {
+		g := progen.Generate(progen.Params{Seed: int64(seed), Stmts: 25, LoopProb: 0.0001, BranchProb: 0.3})
+		if !verify.IsAcyclic(g) {
+			continue
+		}
+		checked++
+		for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+			opt, _, err := core.Transform(g, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", g.Name, mode, err)
+			}
+			bad, err := verify.BetterOrEqual(opt, g, 1<<15)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", g.Name, mode, err)
+			}
+			if len(bad) > 0 {
+				t.Errorf("%s/%v not better-or-equal:\n  %s\noriginal:\n%s\nopt:\n%s",
+					g.Name, mode, strings.Join(bad, "\n  "), g, opt)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no acyclic programs generated; adjust generator parameters")
+	}
+}
+
+// TestMaxRoundsStillSound: truncating the fixpoint iteration (the
+// paper's Section 7 heuristic) must stay semantics-preserving and
+// non-impairing — it only costs optimality.
+func TestMaxRoundsStillSound(t *testing.T) {
+	for _, g := range randomPrograms(t, 4) {
+		for rounds := 1; rounds <= 3; rounds++ {
+			opt, st, err := core.Transform(g, core.Options{Mode: core.ModeDead, MaxRounds: rounds})
+			if err != nil {
+				t.Fatalf("%s/r%d: %v", g.Name, rounds, err)
+			}
+			if st.Rounds > rounds {
+				t.Errorf("%s: ran %d rounds, limit was %d", g.Name, st.Rounds, rounds)
+			}
+			rep := verify.CheckTransformed(g, opt, verify.Options{Seeds: 12, Fuel: 512})
+			if !rep.OK() {
+				t.Errorf("%s/r%d: %s", g.Name, rounds, rep)
+			}
+		}
+	}
+}
+
+// TestTransformNeverGrowsDynamicCost measures the improvement metric
+// itself: the optimized program's sampled dynamic assignment count is
+// never larger, and the savings are nonnegative.
+func TestTransformNeverGrowsDynamicCost(t *testing.T) {
+	for _, g := range randomPrograms(t, 6) {
+		opt, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		imp := verify.MeasureImprovement(g, opt, 24, 512)
+		if imp.OptAssigns > imp.OrigAssigns {
+			t.Errorf("%s: dynamic assignments grew %d -> %d", g.Name, imp.OrigAssigns, imp.OptAssigns)
+		}
+		if imp.Savings() < 0 {
+			t.Errorf("%s: negative savings %f", g.Name, imp.Savings())
+		}
+	}
+}
+
+// TestOptimumIsStableUnderBothSteps: the pde result is simultaneously
+// a fixpoint of elimination and of sinking — Section 5.4's
+// termination condition, asserted directly on the outputs.
+func TestOptimumIsStableUnderBothSteps(t *testing.T) {
+	for _, g := range randomPrograms(t, 6) {
+		opt, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Elimination finds nothing.
+		scratch := opt.Clone()
+		if st := core.EliminateDead(scratch); st.Changed() {
+			t.Errorf("%s: optimum still had %d dead assignments", g.Name, st.Removed)
+		}
+		// Sinking (on the split graph, as the driver runs it) finds
+		// nothing.
+		scratch2 := opt.Clone()
+		cfg.SplitCriticalEdges(scratch2)
+		if !core.SinkStable(scratch2) {
+			t.Errorf("%s: optimum not sink-stable", g.Name)
+		}
+	}
+}
+
+// TestWorstCaseCodeGrowth constructs the §6.2 regime: one candidate
+// assignment fanning out into k branches, each of which needs its own
+// copy (every branch uses the value after locally clobbering an
+// unrelated variable, so the copies cannot re-merge). The peak size
+// grows with the fan-out — w > 1 — but stays bounded by the paper's
+// O(b) argument (inserted instances ≤ instructions on any acyclic
+// path).
+func TestWorstCaseCodeGrowth(t *testing.T) {
+	const k = 8
+	g := cfg.New("growth")
+	top := g.AddNode("top")
+	top.Stmts = []ir.Stmt{ir.Assign{LHS: "x", RHS: ir.Add(ir.V("a"), ir.V("b"))}}
+	fan := g.AddNode("fan")
+	g.AddEdge(g.Start, top)
+	g.AddEdge(top, fan)
+	join := g.AddNode("join")
+	for i := 0; i < k; i++ {
+		arm := g.AddNode(fmt.Sprintf("arm%d", i))
+		// Each arm redefines x on a sub-branch, making the
+		// top-level assignment partially dead per arm, then uses
+		// x: a copy must materialize in each arm.
+		arm.Stmts = []ir.Stmt{
+			ir.Assign{LHS: "y", RHS: ir.C(int64(i))},
+			ir.Out{Arg: ir.Add(ir.V("x"), ir.V("y"))},
+		}
+		g.AddEdge(fan, arm)
+		g.AddEdge(arm, join)
+	}
+	g.AddEdge(join, g.End)
+	cfg.MustValidate(g)
+
+	opt, st, err := core.PDE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GrowthFactor() <= 1 {
+		t.Errorf("expected code growth, w = %.3f", st.GrowthFactor())
+	}
+	// The single occurrence became one per arm.
+	count := 0
+	for _, n := range opt.Nodes() {
+		for _, s := range n.Stmts {
+			if s.String() == "x := a+b" {
+				count++
+			}
+		}
+	}
+	if count != k {
+		t.Errorf("expected %d fanned-out copies, found %d:\n%s", k, count, opt)
+	}
+	// Still semantics preserving and never worse per execution.
+	rep := verify.CheckTransformed(g, opt, verify.Options{Seeds: 48})
+	if !rep.OK() {
+		t.Error(rep)
+	}
+}

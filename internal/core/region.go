@@ -1,0 +1,100 @@
+package core
+
+import (
+	"pdce/internal/analysis"
+	"pdce/internal/cfg"
+)
+
+// HotPredicate selects the blocks the optimizer may rearrange — the
+// "hot areas" localization the paper proposes in Section 7 for
+// limiting the cost of the exhaustive iteration. Cold blocks are
+// treated as opaque: no candidate inside them moves, nothing sinks
+// through them (they block every pattern, so arriving code lands at
+// their entry), and no assignment inside them is eliminated. The
+// restriction is purely a strengthening of the local predicates, so
+// correctness is inherited from the unrestricted algorithm.
+type HotPredicate func(n *cfg.Node) bool
+
+// effectiveHot extends the user predicate to synthetic nodes, which
+// did not exist when the predicate was written: a synthetic node is
+// hot when any neighbour is (it sits on an edge between them and must
+// not cut a hot path).
+func effectiveHot(hot HotPredicate) HotPredicate {
+	return func(n *cfg.Node) bool {
+		if !n.Synthetic {
+			return hot(n)
+		}
+		for _, p := range n.Preds() {
+			if !p.Synthetic && hot(p) {
+				return true
+			}
+		}
+		for _, s := range n.Succs() {
+			if !s.Synthetic && hot(s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// restrictLocals strengthens the sinking-local predicates for cold
+// blocks: no candidates, everything blocked.
+func restrictLocals(g *cfg.Graph, l *analysis.Locals, hot HotPredicate) {
+	for _, n := range g.Nodes() {
+		if hot(n) {
+			continue
+		}
+		l.LocDelayed[n.ID].ClearAll()
+		l.LocBlocked[n.ID].SetAll()
+		for pi := range l.CandidateIdx[n.ID] {
+			l.CandidateIdx[n.ID][pi] = -1
+		}
+	}
+}
+
+// sinkHot is Sink restricted to a hot region.
+func sinkHot(g *cfg.Graph, hot HotPredicate) SinkStats {
+	pt := g.CollectPatterns()
+	locals := analysis.ComputeLocals(g, pt)
+	restrictLocals(g, locals, hot)
+	delay := analysis.DelayabilityWithLocals(g, locals)
+	return applySink(g, pt, locals, delay)
+}
+
+// eliminateDeadHot is EliminateDead restricted to hot blocks. The
+// analysis stays global (deadness must account for cold uses); only
+// the removals are filtered.
+func eliminateDeadHot(g *cfg.Graph, hot HotPredicate) ElimStats {
+	return filterElim(g, hot, EliminateDead)
+}
+
+// eliminateFaintHot is EliminateFaint restricted to hot blocks.
+func eliminateFaintHot(g *cfg.Graph, hot HotPredicate) ElimStats {
+	return filterElim(g, hot, EliminateFaint)
+}
+
+// filterElim runs the full elimination on a scratch copy and applies
+// only the removals in hot blocks back to g. Running the analysis on g
+// and filtering directly would be equally correct; the scratch copy
+// keeps the hot/cold split out of the elimination kernels.
+func filterElim(g *cfg.Graph, hot HotPredicate, elim func(*cfg.Graph) ElimStats) ElimStats {
+	scratch := g.Clone()
+	full := elim(scratch)
+	if full.Removed == 0 {
+		return full
+	}
+	var st ElimStats
+	st.SolverWork = full.SolverWork
+	for _, n := range g.Nodes() {
+		if !hot(n) {
+			continue
+		}
+		sn, _ := scratch.NodeByLabel(n.Label)
+		if len(sn.Stmts) != len(n.Stmts) {
+			st.Removed += len(n.Stmts) - len(sn.Stmts)
+			n.Stmts = append(n.Stmts[:0], sn.Stmts...)
+		}
+	}
+	return st
+}

@@ -1,0 +1,141 @@
+// Package core implements the paper's contribution: the assignment
+// sinking procedure `ask` (Section 5.3), the dead and faint code
+// elimination procedures `dce`/`fce` (Section 5.2), and the exhaustive
+// fixpoint drivers `pde`/`pfe` (Section 5.1) that alternate them until
+// the program stabilizes, capturing all second-order effects of
+// Section 4. By Theorem 5.2 the stable program is optimal in the
+// universe of programs reachable by admissible assignment sinkings and
+// dead (faint) code eliminations.
+package core
+
+import (
+	"pdce/internal/analysis"
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// SinkStats describes one application of the assignment sinking
+// transformation.
+type SinkStats struct {
+	// RemovedCandidates is the number of sinking-candidate
+	// occurrences taken out of their blocks (excluding candidates
+	// kept in place by the X-INSERT fusion).
+	RemovedCandidates int
+	// InsertedEntry and InsertedExit count materialized instances.
+	InsertedEntry, InsertedExit int
+	// SolverVisits is the delayability solver's work.
+	SolverVisits int
+}
+
+// Changed reports whether the transformation altered the program.
+func (s SinkStats) Changed() bool {
+	return s.RemovedCandidates > 0 || s.InsertedEntry > 0 || s.InsertedExit > 0
+}
+
+// Sink performs one exhaustive assignment-sinking step (`ask`) on g in
+// place, for every assignment pattern simultaneously: it solves the
+// delayability system of Table 2 and then
+//
+//   - removes every sinking candidate,
+//   - inserts an instance of α at the entry of n where N-INSERT_n(α),
+//   - inserts an instance of α at the exit of n where X-INSERT_n(α).
+//
+// When X-INSERT_n(α) holds and n itself contains the candidate of α,
+// removal and exit-insertion cancel; the candidate is kept in place.
+// This realizes the paper's stability condition (Section 5.4:
+// X-INSERT = LOCDELAYED means invariance) without intra-block churn,
+// and keeps program texts stable for golden tests.
+//
+// g must have its critical edges split (cfg.SplitCriticalEdges):
+// footnote 6's guarantee that branching nodes receive no exit
+// insertions — which the placement below relies on for blocks ending
+// in a Branch — holds only then.
+func Sink(g *cfg.Graph) SinkStats {
+	pt := g.CollectPatterns()
+	locals := analysis.ComputeLocals(g, pt)
+	delay := analysis.DelayabilityWithLocals(g, locals)
+	return applySink(g, pt, locals, delay)
+}
+
+func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult) SinkStats {
+	var st SinkStats
+	st.SolverVisits = delay.Stats.NodeVisits
+	for _, n := range g.Nodes() {
+		nIns := delay.NInsert[n.ID]
+		xIns := delay.XInsert[n.ID]
+		cand := locals.CandidateIdx[n.ID]
+
+		// keepInPlace[si] marks candidate statement indices fused
+		// with an exit insertion; removeIdx marks candidates to
+		// drop.
+		var removeAny, insertAny bool
+		keep := map[int]bool{}
+		remove := map[int]bool{}
+		for pi := 0; pi < pt.Len(); pi++ {
+			si := cand[pi]
+			if si < 0 {
+				continue
+			}
+			if xIns.Get(pi) {
+				keep[si] = true
+			} else {
+				remove[si] = true
+				removeAny = true
+			}
+		}
+		if !nIns.IsZero() {
+			insertAny = true
+		}
+		// Exit insertions for patterns without a local candidate.
+		var exitPatterns []int
+		xIns.ForEach(func(pi int) {
+			if cand[pi] < 0 {
+				exitPatterns = append(exitPatterns, pi)
+				insertAny = true
+			}
+		})
+		if !removeAny && !insertAny {
+			continue
+		}
+
+		newStmts := make([]ir.Stmt, 0, len(n.Stmts)+nIns.Count()+len(exitPatterns))
+		nIns.ForEach(func(pi int) {
+			newStmts = append(newStmts, pt.MakeAssign(pi))
+			st.InsertedEntry++
+		})
+		for si, s := range n.Stmts {
+			if remove[si] && !keep[si] {
+				st.RemovedCandidates++
+				continue
+			}
+			newStmts = append(newStmts, s)
+		}
+		// Exit insertions. With critical edges split these never
+		// target branching nodes (footnote 6), but Sink is also
+		// usable standalone on unsplit graphs: a Branch terminator
+		// must stay last, and placing the instance before it is
+		// exact — X-DELAYED only holds past a branch that does not
+		// block the pattern.
+		insertAt := len(newStmts)
+		if k := len(newStmts); k > 0 {
+			if _, isBranch := newStmts[k-1].(ir.Branch); isBranch {
+				insertAt = k - 1
+			}
+		}
+		tail := append([]ir.Stmt(nil), newStmts[insertAt:]...)
+		newStmts = newStmts[:insertAt]
+		for _, pi := range exitPatterns {
+			newStmts = append(newStmts, pt.MakeAssign(pi))
+			st.InsertedExit++
+		}
+		n.Stmts = append(newStmts, tail...)
+	}
+	return st
+}
+
+// SinkStable reports whether an assignment-sinking step would leave g
+// invariant — the paper's termination condition for ask.
+func SinkStable(g *cfg.Graph) bool {
+	pt := g.CollectPatterns()
+	return analysis.Delayability(g, pt).Stable(g)
+}

@@ -1,0 +1,194 @@
+// Package dataflow provides the two solving regimes the paper's
+// analyses need:
+//
+//   - a block-level worklist solver for monotone vector problems
+//     (dead variables, delayability — the bit-vector analyses of
+//     Tables 1 and 2), and
+//   - an instruction-level flattening of a flow graph (FlatProgram),
+//     on which the slotwise worklist algorithm of Dhamdhere, Rosen and
+//     Zadeck solves the faint-variable problem, which is not a
+//     bit-vector problem (Section 5.2, Section 6.1.2).
+//
+// All paper analyses take greatest fixpoints: solvers initialize to the
+// problem's top value and iterate downwards. Solvers record iteration
+// statistics so cmd/benchpaper can report empirical convergence
+// behaviour against Section 6's estimates.
+package dataflow
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+)
+
+// Direction of a dataflow problem.
+type Direction int
+
+// Problem directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet is the confluence operator combining values flowing into a
+// node.
+type Meet int
+
+// Confluence operators. Intersect realizes "on all paths" (product in
+// the paper's equation systems), Union realizes "on some path".
+const (
+	Intersect Meet = iota
+	Union
+)
+
+// VectorProblem describes a monotone block-level vector problem.
+//
+// For Forward problems the solver computes
+//
+//	In(n)  = meet over p ∈ pred(n) of Out(p)      (Boundary at Start)
+//	Out(n) = Transfer(n, In(n))
+//
+// and dually for Backward problems (In/Out swap roles: Out(n) is met
+// over successors, In(n) = Transfer over the block).
+type VectorProblem interface {
+	// Bits is the width of the vectors (size of the analysis
+	// universe).
+	Bits() int
+
+	Direction() Direction
+	Meet() Meet
+
+	// Boundary is the fixed value at the graph boundary: the entry
+	// value of Start for forward problems, the exit value of End
+	// for backward problems.
+	Boundary() *bitvec.Vector
+
+	// Top is the initial optimistic value for all other nodes. The
+	// paper's analyses compute greatest solutions, so Top is
+	// all-ones for them.
+	Top() *bitvec.Vector
+
+	// Transfer applies the block's transfer function to the value
+	// at its input side (entry for forward, exit for backward),
+	// writing the result into out. in must not be modified.
+	Transfer(n *cfg.Node, in, out *bitvec.Vector)
+}
+
+// Result holds the fixpoint solution of a vector problem.
+type Result struct {
+	// In and Out are indexed by cfg.NodeID: In is the value at
+	// block entry, Out at block exit, regardless of direction.
+	In, Out []*bitvec.Vector
+
+	// Stats describes the solver run.
+	Stats SolverStats
+}
+
+// SolverStats reports how much work the fixpoint iteration performed.
+type SolverStats struct {
+	// NodeVisits is the number of block transfer evaluations.
+	NodeVisits int
+	// Passes is an upper estimate of sweep count: visits divided by
+	// node count, rounded up.
+	Passes int
+}
+
+// Solve computes the fixpoint of p on g with a worklist algorithm.
+// Nodes are seeded in reverse postorder for forward problems and
+// postorder for backward problems, which makes single-pass convergence
+// typical for structured graphs while remaining correct on the
+// irreducible ones the paper's Figure 5 exercises.
+func Solve(g *cfg.Graph, p VectorProblem) *Result {
+	n := g.NumNodes()
+	res := &Result{
+		In:  make([]*bitvec.Vector, n),
+		Out: make([]*bitvec.Vector, n),
+	}
+	forward := p.Direction() == Forward
+
+	var order []*cfg.Node
+	if forward {
+		order = cfg.ReversePostorder(g)
+	} else {
+		order = cfg.Postorder(g)
+	}
+
+	for _, node := range g.Nodes() {
+		res.In[node.ID] = p.Top()
+		res.Out[node.ID] = p.Top()
+	}
+	if forward {
+		res.In[g.Start.ID] = p.Boundary()
+	} else {
+		res.Out[g.End.ID] = p.Boundary()
+	}
+
+	inQueue := make([]bool, n)
+	queue := make([]*cfg.Node, 0, len(order))
+	for _, node := range order {
+		queue = append(queue, node)
+		inQueue[node.ID] = true
+	}
+
+	meetInto := func(dst *bitvec.Vector, src *bitvec.Vector) bool {
+		if p.Meet() == Intersect {
+			return dst.And(src)
+		}
+		return dst.Or(src)
+	}
+
+	tmp := bitvec.New(p.Bits())
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		inQueue[node.ID] = false
+		res.Stats.NodeVisits++
+
+		if forward {
+			// Meet predecessors into In (except at Start,
+			// whose In is the fixed boundary).
+			if node != g.Start {
+				in := res.In[node.ID]
+				if len(node.Preds()) > 0 {
+					in.CopyFrom(res.Out[node.Preds()[0].ID])
+					for _, pr := range node.Preds()[1:] {
+						meetInto(in, res.Out[pr.ID])
+					}
+				}
+			}
+			p.Transfer(node, res.In[node.ID], tmp)
+			if !tmp.Equal(res.Out[node.ID]) {
+				res.Out[node.ID].CopyFrom(tmp)
+				for _, s := range node.Succs() {
+					if !inQueue[s.ID] {
+						inQueue[s.ID] = true
+						queue = append(queue, s)
+					}
+				}
+			}
+		} else {
+			if node != g.End {
+				out := res.Out[node.ID]
+				if len(node.Succs()) > 0 {
+					out.CopyFrom(res.In[node.Succs()[0].ID])
+					for _, s := range node.Succs()[1:] {
+						meetInto(out, res.In[s.ID])
+					}
+				}
+			}
+			p.Transfer(node, res.Out[node.ID], tmp)
+			if !tmp.Equal(res.In[node.ID]) {
+				res.In[node.ID].CopyFrom(tmp)
+				for _, pr := range node.Preds() {
+					if !inQueue[pr.ID] {
+						inQueue[pr.ID] = true
+						queue = append(queue, pr)
+					}
+				}
+			}
+		}
+	}
+	if n > 0 {
+		res.Stats.Passes = (res.Stats.NodeVisits + n - 1) / n
+	}
+	return res
+}

@@ -1,0 +1,668 @@
+// Package figures encodes every example program of the paper
+// (Figures 1–13) together with the transformation results the paper
+// reports, as machine-checkable before/after pairs. They serve as the
+// golden corpus for tests, as the programs behind cmd/figures, and as
+// benchmark subjects (one benchmark per figure in the repository
+// root's bench_test.go).
+//
+// The 1994 scan renders the figure drawings imperfectly, so each
+// program is reconstructed from the paper's prose, which describes
+// every example precisely (which assignments sink where, what gets
+// eliminated on which branch, which synthetic nodes materialize). Two
+// presentational liberties of the paper's drawings are normalized:
+//
+//   - The algorithm's own fixpoint relocates assignments to the entry
+//     of a successor along straight-line chains (N-INSERT fires on the
+//     block holding the blocking use). The paper draws some results
+//     with the assignment at the chain's upstream block; the paper's
+//     Section 5.4 stability condition agrees with the equations, not
+//     the drawings, and the expected graphs here record the equations'
+//     fixpoint. The two placements lie on the same paths and are
+//     cost-identical under Definition 3.6.
+//   - Synthetic nodes that remain empty are removed again (the paper
+//     draws them dashed); ones that received code (S4,5 in Figure 6)
+//     stay.
+package figures
+
+import (
+	"fmt"
+
+	"pdce/internal/cfg"
+	"pdce/internal/parser"
+)
+
+// Figure is one paper example: an input program, the expected result
+// of the transformation the paper applies to it, and commentary.
+type Figure struct {
+	// Num is the paper's figure number of the *input* drawing.
+	Num int
+	// Name is a short identifier, e.g. "fig01".
+	Name string
+	// Title summarizes what the figure demonstrates.
+	Title string
+	// Source is the input program in the low-level CFG language.
+	Source string
+	// ExpectedPDE is the expected result of running pde, in the
+	// CFG language; empty when the figure does not define a pde
+	// result (Figure 13 is block-local only).
+	ExpectedPDE string
+	// ExpectedPFE is the expected pfe result when the figure
+	// distinguishes it from pde (Figures 9 and 12); empty means
+	// "same as ExpectedPDE".
+	ExpectedPFE string
+	// Notes records how the figure was reconstructed and what the
+	// paper says about it.
+	Notes string
+}
+
+// Graph parses the figure's input program.
+func (f *Figure) Graph() *cfg.Graph { return parser.MustParseCFG(f.Source) }
+
+// PDEGraph parses the expected pde result, or nil if none is defined.
+func (f *Figure) PDEGraph() *cfg.Graph {
+	if f.ExpectedPDE == "" {
+		return nil
+	}
+	return parser.MustParseCFG(f.ExpectedPDE)
+}
+
+// PFEGraph parses the expected pfe result (falling back to the pde
+// expectation), or nil if neither is defined.
+func (f *Figure) PFEGraph() *cfg.Graph {
+	if f.ExpectedPFE != "" {
+		return parser.MustParseCFG(f.ExpectedPFE)
+	}
+	return f.PDEGraph()
+}
+
+// All returns every figure, ordered by figure number.
+func All() []*Figure {
+	return []*Figure{
+		Fig01(), Fig03(), Fig05(), Fig07(), Fig08(),
+		Fig09(), Fig10(), Fig11(), Fig12(), Fig13(),
+	}
+}
+
+// ByNum returns the figure whose input drawing has the given paper
+// number.
+func ByNum(num int) (*Figure, error) {
+	for _, f := range All() {
+		if f.Num == num {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: no figure %d (have 1,3,5,7,8,9,10,11,12,13)", num)
+}
+
+// Fig01 is the simple motivating example (Figure 1 → Figure 2):
+// y := a+b in node 1 is dead on the branch through node 3 (which
+// redefines y) and alive on the branch through node 4. Sinking moves
+// it to both branch targets; dead code elimination then removes the
+// copy at node 3, leaving a single instance on the path that needs it.
+func Fig01() *Figure {
+	return &Figure{
+		Num:   1,
+		Name:  "fig01",
+		Title: "partially dead assignment removed by sinking + dce",
+		Source: `graph "fig1"
+node 1 { y := a+b }
+node 2 {}
+node 3 { y := c }
+node 4 {}
+node 5 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 e
+`,
+		ExpectedPDE: `graph "fig1"
+node 1 {}
+node 2 {}
+node 3 { y := c }
+node 4 { y := a+b }
+node 5 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 e
+`,
+		Notes: "Figure 2 of the paper. The instance on the live branch " +
+			"lands in node 4 (X-INSERT at its exit: the join node 5 is " +
+			"reached by the non-delayed branch through node 3); the " +
+			"instance inserted at node 3's entry is immediately dead " +
+			"and eliminated.",
+	}
+}
+
+// Fig03 is the second-order-effects example (Figure 3 → Figure 4): a
+// dependent pair inside a loop — the first assignment defines an
+// operand of the second, so neither standard loop-invariant code
+// motion nor a single sinking pass can clean the loop. Removing the
+// second assignment from the loop (sinking-elimination) suspends the
+// blockade of the first, which then leaves the loop as well
+// (sinking-sinking); a final dce round clears the transient copy on
+// the loop's back edge (elimination after sinking).
+func Fig03() *Figure {
+	return &Figure{
+		Num:   3,
+		Name:  "fig03",
+		Title: "second-order effects: dependent pair leaves a loop",
+		Source: `graph "fig3"
+node 1 {}
+node 2 {
+  c := y-e
+  x := c+1
+}
+node 3 {}
+node 4 {}
+node 7 { out(c) }
+node 8 { out(x) }
+node 9 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 3 2
+edge 3 4
+edge 4 7
+edge 4 8
+edge 7 9
+edge 8 9
+edge 9 e
+`,
+		ExpectedPDE: `graph "fig3"
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {}
+node 7 {
+  c := y-e
+  out(c)
+}
+node 8 {
+  c := y-e
+  x := c+1
+  out(x)
+}
+node 9 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 3 2
+edge 3 4
+edge 4 7
+edge 4 8
+edge 7 9
+edge 8 9
+edge 9 e
+`,
+		Notes: "Figure 4 of the paper: the loop {2,3} ends up empty; " +
+			"each post-loop branch computes exactly what it consumes. " +
+			"Node numbering follows the paper's drawing (7: out(c), " +
+			"8: out(x)). Reconstructed pair: c := y-e; x := c+1 (the " +
+			"prose requires the first instruction to define an operand " +
+			"of the second).",
+	}
+}
+
+// Fig05 is the loop-treatment example (Figure 5 → Figure 6): the
+// assignment x := a+b of node 1 is moved across an irreducible loop
+// construct (nodes 2/3, entered from node 1 at both), eliminated as
+// dead code on the branch through node 6 (which redefines x), and
+// materialized in the synthetic node S4,5 on the critical edge from
+// node 4 to node 5 — where it remains partially dead, because pushing
+// it further would move it into the second loop (node 7: y := y+x)
+// and impair looping executions.
+func Fig05() *Figure {
+	return &Figure{
+		Num:   5,
+		Name:  "fig05",
+		Title: "irreducible loop crossed; fatal motion into second loop avoided",
+		Source: `graph "fig5"
+node 1 { x := a+b }
+node 2 {}
+node 3 {}
+node 4 {}
+node 5 {}
+node 6 { x := c+d }
+node 7 { y := y+x }
+node 8 { out(y) }
+node 9 { out(x) }
+node 10 {}
+edge s 1
+edge 1 2
+edge 1 3
+edge 2 3
+edge 3 2
+edge 3 4
+edge 4 5
+edge 4 6
+edge 5 7
+edge 5 8
+edge 6 9
+edge 7 5
+edge 8 9
+edge 9 10
+edge 10 e
+`,
+		ExpectedPDE: `graph "fig5"
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {}
+node 5 {}
+node 6 { x := c+d }
+node 7 { y := y+x }
+node 8 { out(y) }
+node 9 { out(x) }
+node 10 {}
+node "S4,5" synthetic { x := a+b }
+edge s 1
+edge 1 2
+edge 1 3
+edge 2 3
+edge 3 2
+edge 3 4
+edge 4 "S4,5"
+edge 4 6
+edge "S4,5" 5
+edge 5 7
+edge 5 8
+edge 6 9
+edge 7 5
+edge 8 9
+edge 9 10
+edge 10 e
+`,
+		Notes: "Figure 6 of the paper: only the synthetic node S4,5 " +
+			"materializes (it received the sunk assignment); the other " +
+			"split synthetic nodes stay empty and are removed again. " +
+			"The assignment in S4,5 is still partially dead (dead when " +
+			"the second loop exits through node 8 without reading x " +
+			"via out(y)... it is live via y:=y+x and out(x)), and the " +
+			"algorithm correctly refuses to chase it into the loop.",
+	}
+}
+
+// Fig07 is the m-to-n sinking example (Figure 7): a := a+1 occurs in
+// both predecessors (nodes 1 and 2) of a join; it is live through the
+// branch using a and dead through the other. Only the simultaneous
+// treatment of both occurrences allows the elimination — removing one
+// occurrence alone would leave the insertion unjustified on the other
+// path (Feigen et al.'s one-occurrence-at-a-time scheme must give up).
+func Fig07() *Figure {
+	return &Figure{
+		Num:   7,
+		Name:  "fig07",
+		Title: "m-to-n sinking: simultaneous treatment of several occurrences",
+		Source: `graph "fig7"
+node 0 {}
+node 1 { a := a+1 }
+node 2 { a := a+1 }
+node 3 {}
+node 4 {
+  y := a+b
+  out(x+y)
+}
+node 5 { out(b) }
+node 6 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 4
+edge 3 5
+edge 4 6
+edge 5 6
+edge 6 e
+`,
+		ExpectedPDE: `graph "fig7"
+node 0 {}
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {
+  a := a+1
+  y := a+b
+  out(x+y)
+}
+node 5 { out(b) }
+node 6 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 4
+edge 3 5
+edge 4 6
+edge 5 6
+edge 6 e
+`,
+		Notes: "Two occurrences sink to one insertion point (2-to-1): " +
+			"both candidates are removed and a single instance lands " +
+			"before the use in node 4; the instance that would continue " +
+			"through node 5 falls off the end dead. Reconstructed from " +
+			"the paper's prose; the drawing's out(a)/out(a+b) variants " +
+			"exercise the same simultaneity.",
+	}
+}
+
+// Fig08 is the critical-edge example (Figure 8): x := a+b at node 1 is
+// partially dead with respect to the redefinition at node 3, but
+// cannot be moved to node 2 directly — node 2 has another predecessor,
+// so the motion would impair the path entering node 2 from there. The
+// synthetic node S1,2 on the critical edge (1,2) receives it instead.
+func Fig08() *Figure {
+	return &Figure{
+		Num:   8,
+		Name:  "fig08",
+		Title: "critical edge split enables safe elimination",
+		Source: `graph "fig8"
+node 0 {}
+node p {}
+node 1 { x := a+b }
+node 2 { out(x) }
+node 3 {
+  x := c
+  out(x)
+}
+node 4 {}
+edge s 0
+edge 0 1
+edge 0 p
+edge p 2
+edge 1 2
+edge 1 3
+edge 2 4
+edge 3 4
+edge 4 e
+`,
+		ExpectedPDE: `graph "fig8"
+node 0 {}
+node p {}
+node 1 {}
+node 2 { out(x) }
+node 3 {
+  x := c
+  out(x)
+}
+node 4 {}
+node "S1,2" synthetic { x := a+b }
+edge s 0
+edge 0 1
+edge 0 p
+edge p 2
+edge 1 "S1,2"
+edge "S1,2" 2
+edge 1 3
+edge 2 4
+edge 3 4
+edge 4 e
+`,
+		Notes: "Figure 8(b) of the paper: the synthetic node S1,2 " +
+			"materializes with the sunk assignment; on the branch " +
+			"through node 3 the assignment is dead (x redefined) and " +
+			"disappears. The extra predecessor p of node 2 is what " +
+			"makes the edge (1,2) critical.",
+	}
+}
+
+// Fig09 is the faint-but-not-dead example (Figure 9): the loop
+// assignment x := x+1 uses its own left-hand side and nothing else
+// ever reads x, so x is faint but not dead. Dead code elimination
+// (and hence pde) must leave it; faint code elimination (pfe) removes
+// it.
+func Fig09() *Figure {
+	return &Figure{
+		Num:   9,
+		Name:  "fig09",
+		Title: "faint but not dead assignment",
+		Source: `graph "fig9"
+node 1 {}
+node 2 {}
+node 3 { x := x+1 }
+node 4 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 2
+edge 4 e
+`,
+		ExpectedPDE: `graph "fig9"
+node 1 {}
+node 2 {}
+node 3 { x := x+1 }
+node 4 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 2
+edge 4 e
+`,
+		ExpectedPFE: `graph "fig9"
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 2
+edge 4 e
+`,
+		Notes: "Taken from Horwitz/Demers/Teitelbaum via the paper: " +
+			"the only use of x is the right-hand side of the faint " +
+			"assignment itself, so pde is a no-op here while pfe " +
+			"empties the loop body.",
+	}
+}
+
+// Fig10 is the sinking-sinking example (Figure 10): without first
+// sinking a := c out of node 2, the assignment y := a+b of node 1 can
+// sink at most to node 2's entry (a := c corrupts its operand).
+// Anticipating the sinking of a := c down to the use in x := a+c, the
+// first assignment passes through and reaches both branch targets,
+// where dce removes the copy killed by y := d.
+func Fig10() *Figure {
+	return &Figure{
+		Num:   10,
+		Name:  "fig10",
+		Title: "sinking-sinking effect",
+		Source: `graph "fig10"
+node 1 { y := a+b }
+node 2 { a := c }
+node 3 { y := d }
+node 4 {}
+node 5 { x := a+c }
+node 6 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 6
+edge 6 e
+`,
+		ExpectedPDE: `graph "fig10"
+node 1 {}
+node 2 {}
+node 3 { y := d }
+node 4 { y := a+b }
+node 5 {}
+node 6 {
+  a := c
+  x := a+c
+  out(x+y)
+}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 6
+edge 6 e
+`,
+		Notes: "Figure 10(b) of the paper: y := a+b survives only on " +
+			"the branch that does not redefine y; a := c and x := a+c " +
+			"sink down the straight-line chain to the block holding " +
+			"the blocking use out(x+y) (the drawing leaves them one " +
+			"block higher — same paths, same cost).",
+	}
+}
+
+// Fig11 is the elimination-sinking example (Figure 11): neither
+// assignment can sink initially (a := c blocks y := a+b, and out-uses
+// block a := c... in fact a := c is simply dead). Eliminating the dead
+// a := c unblocks y := a+b, which then sinks to both branches so the
+// copy killed by y := d can be eliminated.
+func Fig11() *Figure {
+	return &Figure{
+		Num:   11,
+		Name:  "fig11",
+		Title: "elimination-sinking effect",
+		Source: `graph "fig11"
+node 1 { y := a+b }
+node 2 { a := c }
+node 3 {}
+node 4 {
+  y := d
+  out(y)
+}
+node 5 { out(y) }
+node 6 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 3 4
+edge 3 5
+edge 4 6
+edge 5 6
+edge 6 e
+`,
+		ExpectedPDE: `graph "fig11"
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {
+  y := d
+  out(y)
+}
+node 5 {
+  y := a+b
+  out(y)
+}
+node 6 {}
+edge s 1
+edge 1 2
+edge 2 3
+edge 3 4
+edge 3 5
+edge 4 6
+edge 5 6
+edge 6 e
+`,
+		Notes: "The dead assignment a := c was the only blockade of " +
+			"y := a+b; its elimination is what enables the sinking — " +
+			"the elimination-sinking second-order effect.",
+	}
+}
+
+// Fig12 is the elimination-elimination example (Figure 12): y := a+b
+// at node 4 is dead because the join redefines y before the use, and
+// only its removal makes a := c at node 1 dead in turn. For pde this
+// is a second-order effect (two dce rounds); for pfe both assignments
+// are faint simultaneously and fall in a single fce step.
+func Fig12() *Figure {
+	return &Figure{
+		Num:   12,
+		Name:  "fig12",
+		Title: "elimination-elimination effect (first-order for pfe)",
+		Source: `graph "fig12"
+node 1 { a := c }
+node 2 {}
+node 3 {}
+node 4 { y := a+b }
+node 5 { y := c+d }
+node 6 { out(y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 6
+edge 6 e
+`,
+		ExpectedPDE: `graph "fig12"
+node 1 {}
+node 2 {}
+node 3 {}
+node 4 {}
+node 5 {}
+node 6 {
+  y := c+d
+  out(y)
+}
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 6
+edge 6 e
+`,
+		Notes: "Both useless assignments disappear; y := c+d sinks " +
+			"down the chain to its use. For pde the effect is second " +
+			"order: dce's first round removes only y := a+b (a := c " +
+			"is still 'used' by it), and a := c falls in the next " +
+			"step — in this implementation by sinking off the end of " +
+			"the program once unblocked. pfe sees both as faint " +
+			"simultaneously — the paper's point that the effect is " +
+			"first-order for faintness.",
+	}
+}
+
+// Fig13 demonstrates the block-local sinking-candidate predicate
+// (Figure 13): in a block containing several occurrences of y := a+b,
+// at most the last can be a candidate, and a trailing modification of
+// an operand (a := d) disqualifies even that one. The figure defines
+// no global transformation; tests exercise analysis.ComputeLocals on
+// the two block variants directly.
+func Fig13() *Figure {
+	return &Figure{
+		Num:   13,
+		Name:  "fig13",
+		Title: "sinking candidates within a basic block",
+		Source: `graph "fig13"
+node 1 {
+  y := a+b
+  a := c
+  x := 3*y
+  y := a+b
+  a := d
+}
+node 2 { out(x+y); out(a) }
+edge s 1
+edge 1 2
+edge 2 e
+`,
+		Notes: "Block variant with the trailing a := d: the second " +
+			"y := a+b is blocked by it, so the block has no y := a+b " +
+			"candidate; a := d itself is the only candidate. Dropping " +
+			"the trailing assignment makes the last y := a+b the " +
+			"candidate — exactly the paper's Figure 13 illustration.",
+	}
+}

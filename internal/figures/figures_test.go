@@ -1,0 +1,188 @@
+package figures
+
+import (
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/verify"
+)
+
+func TestAllFiguresWellFormed(t *testing.T) {
+	figs := All()
+	if len(figs) != 10 {
+		t.Fatalf("expected 10 figures, got %d", len(figs))
+	}
+	seen := map[int]bool{}
+	prev := 0
+	for _, f := range figs {
+		if f.Num <= prev {
+			t.Errorf("figures not ordered by number: %d after %d", f.Num, prev)
+		}
+		prev = f.Num
+		if seen[f.Num] {
+			t.Errorf("duplicate figure %d", f.Num)
+		}
+		seen[f.Num] = true
+		if f.Name == "" || f.Title == "" || f.Notes == "" {
+			t.Errorf("figure %d missing metadata", f.Num)
+		}
+		g := f.Graph()
+		cfg.MustValidate(g)
+		if w := f.PDEGraph(); w != nil {
+			cfg.MustValidate(w)
+		}
+		if w := f.PFEGraph(); w != nil {
+			cfg.MustValidate(w)
+		}
+	}
+}
+
+func TestByNum(t *testing.T) {
+	f, err := ByNum(5)
+	if err != nil || f.Num != 5 {
+		t.Fatalf("ByNum(5) = %v, %v", f, err)
+	}
+	if _, err := ByNum(2); err == nil {
+		t.Error("ByNum(2) should fail: figure 2 is a result drawing, not an input")
+	}
+}
+
+// TestExpectedGraphsPreserveBranchingStructure: the paper's guarantee
+// framework relies on before/after having the same branch decisions
+// available; expected graphs may add only synthetic pass-through
+// nodes.
+func TestExpectedGraphsPreserveBranchingStructure(t *testing.T) {
+	for _, f := range All() {
+		want := f.PDEGraph()
+		if want == nil {
+			continue
+		}
+		in := f.Graph()
+		branchesIn := 0
+		for _, n := range in.Nodes() {
+			if len(n.Succs()) > 1 {
+				branchesIn++
+			}
+		}
+		branchesOut := 0
+		for _, n := range want.Nodes() {
+			if len(n.Succs()) > 1 {
+				branchesOut++
+			}
+		}
+		if branchesIn != branchesOut {
+			t.Errorf("%s: branch-point count changed %d -> %d", f.Name, branchesIn, branchesOut)
+		}
+	}
+}
+
+// TestExpectedResultsAreBehaviorallyEquivalent: the encoded expected
+// graphs themselves must be valid optimizations of the inputs — this
+// guards the hand-reconstruction of the figures against transcription
+// mistakes, independent of the algorithm.
+func TestExpectedResultsAreBehaviorallyEquivalent(t *testing.T) {
+	for _, f := range All() {
+		for _, pair := range []struct {
+			name string
+			want *cfg.Graph
+		}{
+			{"pde", f.PDEGraph()},
+			{"pfe", f.PFEGraph()},
+		} {
+			if pair.want == nil {
+				continue
+			}
+			rep := verify.CheckTransformed(f.Graph(), pair.want, verify.Options{Seeds: 64, Fuel: 512})
+			if !rep.OK() {
+				t.Errorf("%s/%s: expected graph is not a valid optimization: %s",
+					f.Name, pair.name, rep)
+			}
+		}
+	}
+}
+
+// TestFiguresExerciseDistinctPhenomena: sanity-check a few headline
+// properties the figures were chosen for.
+func TestFiguresExerciseDistinctPhenomena(t *testing.T) {
+	// Figure 5 contains an irreducible region.
+	f5, _ := ByNum(5)
+	g5 := f5.Graph()
+	dom := cfg.BuildDomTree(g5)
+	irreducible := false
+	for _, e := range g5.Edges() {
+		if pathExists(e.To, e.From) && !dom.Dominates(e.To, e.From) {
+			irreducible = true
+		}
+	}
+	if !irreducible {
+		t.Error("figure 5 lost its irreducible loop in reconstruction")
+	}
+
+	// Figure 8 contains a critical edge; figure 1 does not.
+	f8, _ := ByNum(8)
+	if cfg.CountCriticalEdges(f8.Graph()) == 0 {
+		t.Error("figure 8 has no critical edge")
+	}
+	f1, _ := ByNum(1)
+	if cfg.CountCriticalEdges(f1.Graph()) != 0 {
+		t.Error("figure 1 unexpectedly has a critical edge")
+	}
+
+	// Figure 9's pde expectation equals its input (nothing to do),
+	// while its pfe expectation differs.
+	f9, _ := ByNum(9)
+	if !cfg.Equal(f9.Graph(), f9.PDEGraph()) {
+		t.Error("figure 9 pde expectation should equal the input")
+	}
+	if cfg.Equal(f9.Graph(), f9.PFEGraph()) {
+		t.Error("figure 9 pfe expectation should differ from the input")
+	}
+}
+
+func pathExists(a, b *cfg.Node) bool {
+	seen := map[*cfg.Node]bool{}
+	stack := []*cfg.Node{a}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Succs()...)
+	}
+	return false
+}
+
+// TestExpectedResultsExhaustive upgrades the behavioural check from
+// sampling to full enumeration: for every figure, EVERY
+// nondeterministic execution (fuel-bounded on the cyclic ones) of the
+// expected result must match the input program.
+func TestExpectedResultsExhaustive(t *testing.T) {
+	for _, f := range All() {
+		for _, pair := range []struct {
+			name string
+			want *cfg.Graph
+		}{
+			{"pde", f.PDEGraph()},
+			{"pfe", f.PFEGraph()},
+		} {
+			if pair.want == nil {
+				continue
+			}
+			rep, err := verify.CheckTransformedExhaustive(f.Graph(), pair.want, 64, 1<<12)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, pair.name, err)
+			}
+			if !rep.OK() {
+				t.Errorf("%s/%s: exhaustive check failed: %s", f.Name, pair.name, rep)
+			}
+			if rep.Executions == 0 {
+				t.Errorf("%s/%s: no executions enumerated", f.Name, pair.name)
+			}
+		}
+	}
+}

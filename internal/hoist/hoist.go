@@ -1,0 +1,330 @@
+// Package hoist implements assignment *hoisting*: moving assignments
+// against the control flow as far as possible — the mirror image of
+// the paper's assignment sinking. It exists as the Related-Work
+// baseline the paper contrasts itself with: Dhamdhere's extension of
+// partial redundancy elimination to assignment movement (reference
+// [9]) hoists assignments rather than sinking them, "which does not
+// allow any elimination of partially dead code". The hoisting
+// experiment demonstrates exactly that: hoisting is semantics
+// preserving and may shorten temporaries' distance to their uses, but
+// its dynamic assignment counts never beat the original program, while
+// pde's do.
+//
+// The machinery mirrors Table 2 under time reversal:
+//
+//	X-HOIST_n = false                            if n = e
+//	          = ∏_{m ∈ succ(n)} N-HOIST_m        otherwise
+//	N-HOIST_n = LOCCAND_n + ¬LOCBLOCKED_n · X-HOIST_n
+//
+//	X-INSERT_n = X-HOIST_n · LOCBLOCKED_n
+//	N-INSERT_n = N-HOIST_n · Σ_{m ∈ pred(n)} ¬X-HOIST_m
+//
+// where a hoisting candidate is the *first* occurrence of a pattern in
+// a block with no blocker before it, and blocking is the same
+// (symmetric) predicate as for sinking. Justifiability is automatic:
+// N-HOIST at a point means every path leaving it reaches a removed
+// candidate before any blocker, so an inserted instance is always
+// consumed, on every path, exactly once.
+//
+// Like classic PRE, hoisting can move a faulting evaluation to an
+// earlier point of the same path; outputs between the two points are
+// then lost on faulting runs. Hoisting is therefore verified on
+// fault-free workloads.
+package hoist
+
+import (
+	"fmt"
+
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// Locals holds the hoisting-local predicates.
+type Locals struct {
+	Patterns *ir.PatternTable
+
+	// LocCand marks blocks containing a hoisting candidate (one bit
+	// per pattern); CandidateIdx gives its statement index or -1.
+	LocCand      []*bitvec.Vector
+	LocBlocked   []*bitvec.Vector
+	CandidateIdx [][]int
+}
+
+// ComputeLocals computes hoisting candidates: the first occurrence of
+// each pattern in a block, provided no earlier instruction of the
+// block blocks the pattern.
+func ComputeLocals(g *cfg.Graph, pt *ir.PatternTable) *Locals {
+	numNodes := g.NumNodes()
+	np := pt.Len()
+	l := &Locals{
+		Patterns:     pt,
+		LocCand:      make([]*bitvec.Vector, numNodes),
+		LocBlocked:   make([]*bitvec.Vector, numNodes),
+		CandidateIdx: make([][]int, numNodes),
+	}
+	for _, n := range g.Nodes() {
+		lc := bitvec.New(np)
+		lb := bitvec.New(np)
+		cand := make([]int, np)
+		for i := range cand {
+			cand[i] = -1
+		}
+		blockedAbove := bitvec.New(np)
+		for si, s := range n.Stmts {
+			if pi, ok := pt.IndexOfStmt(s); ok && !blockedAbove.Get(pi) && cand[pi] < 0 {
+				lc.Set(pi)
+				cand[pi] = si
+			}
+			for pi := 0; pi < np; pi++ {
+				if pt.BlocksIdx(s, pi) {
+					blockedAbove.Set(pi)
+					lb.Set(pi)
+				}
+			}
+		}
+		l.LocCand[n.ID] = lc
+		l.LocBlocked[n.ID] = lb
+		l.CandidateIdx[n.ID] = cand
+	}
+	return l
+}
+
+type hoistProblem struct {
+	l    *Locals
+	bits int
+}
+
+func (p *hoistProblem) Bits() int                     { return p.bits }
+func (p *hoistProblem) Direction() dataflow.Direction { return dataflow.Backward }
+func (p *hoistProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *hoistProblem) Boundary() *bitvec.Vector      { return bitvec.New(p.bits) }
+func (p *hoistProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+// N = LOCCAND + ¬LOCBLOCKED·X
+func (p *hoistProblem) Transfer(n *cfg.Node, out, in *bitvec.Vector) {
+	in.CopyFrom(out)
+	in.AndNot(p.l.LocBlocked[n.ID])
+	in.Or(p.l.LocCand[n.ID])
+}
+
+// Result is the hoistability solution with insertion predicates.
+type Result struct {
+	Locals           *Locals
+	NHoist, XHoist   []*bitvec.Vector
+	NInsert, XInsert []*bitvec.Vector
+}
+
+// Analyze solves the hoistability system on g (critical edges must be
+// split, so entry insertions never target join nodes).
+func Analyze(g *cfg.Graph, pt *ir.PatternTable) *Result {
+	l := ComputeLocals(g, pt)
+	sol := dataflow.Solve(g, &hoistProblem{l: l, bits: pt.Len()})
+	r := &Result{
+		Locals: l,
+		NHoist: sol.In, XHoist: sol.Out,
+		NInsert: make([]*bitvec.Vector, g.NumNodes()),
+		XInsert: make([]*bitvec.Vector, g.NumNodes()),
+	}
+	// Start boundary — the mirror of Table 2's N-DELAYED_s = false:
+	// nothing hoists through the start node, so the frontier (and
+	// hence the insertion) lands at the entries of its successors.
+	// X-HOIST_s feeds no other equation backward, so clearing it
+	// after the solve is exact.
+	r.XHoist[g.Start.ID].ClearAll()
+	for _, n := range g.Nodes() {
+		xi := r.XHoist[n.ID].Copy()
+		xi.And(l.LocBlocked[n.ID])
+		r.XInsert[n.ID] = xi
+
+		somePredNotHoist := bitvec.New(pt.Len())
+		for _, m := range n.Preds() {
+			xh := r.XHoist[m.ID].Copy()
+			xh.Not()
+			somePredNotHoist.Or(xh)
+		}
+		ni := r.NHoist[n.ID].Copy()
+		ni.And(somePredNotHoist)
+		r.NInsert[n.ID] = ni
+	}
+	return r
+}
+
+// Stats describes one hoisting application.
+type Stats struct {
+	RemovedCandidates int
+	Inserted          int
+}
+
+// Changed reports whether the transformation altered the program.
+func (s Stats) Changed() bool { return s.RemovedCandidates > 0 || s.Inserted > 0 }
+
+// hoistOnce performs one exhaustive hoisting step on g (critical
+// edges already split). Decisions are made globally before any
+// mutation: keep-fusions couple a node's insertions with candidates in
+// *other* nodes (a branch node's exit insertion materializes at its
+// successors' entries), so removal and insertion cannot be decided
+// block-locally as in the sinking direction.
+func hoistOnce(g *cfg.Graph) Stats {
+	pt := g.CollectPatterns()
+	r := Analyze(g, pt)
+	l := r.Locals
+
+	var st Stats
+	type insertion struct {
+		n       *cfg.Node
+		atEntry bool
+		pi      int
+	}
+	var pending []insertion
+	keep := make(map[*cfg.Node]map[int]bool) // stmt indices to keep
+
+	markKeep := func(n *cfg.Node, si int) {
+		if keep[n] == nil {
+			keep[n] = make(map[int]bool)
+		}
+		keep[n][si] = true
+	}
+
+	// Phase 1: decide insertions and fusions.
+	for _, n := range g.Nodes() {
+		cand := l.CandidateIdx[n.ID]
+		// Entry insertions: fuse with the block's own candidate
+		// (the paper's stability shape: N-INSERT = LOCCAND means
+		// invariance modulo intra-block order).
+		r.NInsert[n.ID].ForEach(func(pi int) {
+			if si := cand[pi]; si >= 0 {
+				markKeep(n, si)
+			} else {
+				pending = append(pending, insertion{n: n, atEntry: true, pi: pi})
+			}
+		})
+		// Exit insertions.
+		r.XInsert[n.ID].ForEach(func(pi int) {
+			if len(n.Succs()) <= 1 {
+				if _, isBranch := n.Terminator(); !isBranch {
+					pending = append(pending, insertion{n: n, atEntry: false, pi: pi})
+					return
+				}
+			}
+			// The physical exit slot of a branching node is
+			// occupied by the branch; place the instance at
+			// the entry of every successor instead (each has
+			// exactly one predecessor after edge splitting,
+			// so every path through n still executes exactly
+			// one instance). When every successor already
+			// holds a candidate of the pattern, the whole
+			// move is the identity: fuse.
+			allHave := true
+			for _, m := range n.Succs() {
+				if l.CandidateIdx[m.ID][pi] < 0 {
+					allHave = false
+					break
+				}
+			}
+			if allHave {
+				for _, m := range n.Succs() {
+					markKeep(m, l.CandidateIdx[m.ID][pi])
+				}
+				return
+			}
+			for _, m := range n.Succs() {
+				if si := l.CandidateIdx[m.ID][pi]; si >= 0 {
+					markKeep(m, si)
+				} else {
+					pending = append(pending, insertion{n: m, atEntry: true, pi: pi})
+				}
+			}
+		})
+	}
+
+	// Phase 2: remove candidates not kept.
+	for _, n := range g.Nodes() {
+		cand := l.CandidateIdx[n.ID]
+		remove := map[int]bool{}
+		for pi := 0; pi < pt.Len(); pi++ {
+			if si := cand[pi]; si >= 0 && !keep[n][si] {
+				remove[si] = true
+			}
+		}
+		if len(remove) == 0 {
+			continue
+		}
+		kept := n.Stmts[:0]
+		for si, s := range n.Stmts {
+			if remove[si] {
+				st.RemovedCandidates++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		n.Stmts = kept
+	}
+
+	// Phase 3: materialize insertions.
+	for _, ins := range pending {
+		a := pt.MakeAssign(ins.pi)
+		if ins.atEntry {
+			ins.n.Stmts = append([]ir.Stmt{a}, ins.n.Stmts...)
+		} else {
+			ins.n.Stmts = append(ins.n.Stmts, a)
+		}
+		st.Inserted++
+	}
+	return st
+}
+
+// Optimize hoists every assignment of a copy of g as far up as
+// admissible, iterating until stable (hoisting one assignment can
+// unblock another, mirroring the sinking-sinking effect).
+func Optimize(g *cfg.Graph) (*cfg.Graph, Stats, error) {
+	if errs := cfg.Validate(g); len(errs) > 0 {
+		return nil, Stats{}, fmt.Errorf("hoist: invalid input: %s", errs[0])
+	}
+	out := g.Clone()
+	cfg.SplitCriticalEdges(out)
+	// Split every edge from the start node into a *join* with a
+	// synthetic landing block. The mirror of footnote 6 — no entry
+	// insertions at multi-predecessor nodes, which is what
+	// guarantees each path crosses the insertion frontier exactly
+	// once — requires every predecessor of a join to be a
+	// single-successor node that can host code. The start node
+	// cannot (it must stay empty), so such joins get a dedicated
+	// pre-entry block; empty ones are removed again afterwards.
+	// Single-predecessor successors of start need no landing block:
+	// their own entry is an unambiguous insertion point.
+	for _, m := range append([]*cfg.Node(nil), out.Start.Succs()...) {
+		if len(m.Preds()) <= 1 {
+			continue
+		}
+		label := fmt.Sprintf("H%s,%s", out.Start.Label, m.Label)
+		for k := 2; ; k++ {
+			if _, taken := out.NodeByLabel(label); !taken {
+				break
+			}
+			label = fmt.Sprintf("H%s,%s#%d", out.Start.Label, m.Label, k)
+		}
+		mid := out.AddNode(label)
+		mid.Synthetic = true
+		out.SplitEdgeWith(out.Start, m, mid)
+	}
+	var total Stats
+	limit := 10*out.NumStmts() + 100
+	for round := 0; ; round++ {
+		if round > limit {
+			return nil, total, fmt.Errorf("hoist: did not stabilize within %d rounds", limit)
+		}
+		st := hoistOnce(out)
+		total.RemovedCandidates += st.RemovedCandidates
+		total.Inserted += st.Inserted
+		if !st.Changed() {
+			break
+		}
+	}
+	cfg.RemoveEmptySynthetic(out)
+	if errs := cfg.Validate(out); len(errs) > 0 {
+		return nil, total, fmt.Errorf("hoist: produced invalid graph: %s", errs[0])
+	}
+	return out, total, nil
+}

@@ -1,0 +1,211 @@
+package hoist
+
+import (
+	"strings"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/figures"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+	"pdce/internal/verify"
+)
+
+func TestHoistStraightLine(t *testing.T) {
+	g := parser.MustParseCFG(`
+node 1 { a := 1 }
+node 2 { x := c+d }
+node 3 { out(x+a) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 3 e
+`)
+	out, st, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Changed() {
+		t.Fatal("nothing hoisted")
+	}
+	// x := c+d can rise into node 1 (a := 1 does not block it); it
+	// stops there because the start node cannot host code.
+	n1, _ := out.NodeByLabel("1")
+	text := nodeTextOf(n1)
+	if !strings.Contains(text, "x := c+d") {
+		t.Errorf("node 1 = %q, want the hoisted assignment", text)
+	}
+	rep := verify.CheckTransformed(g, out, verify.Options{Seeds: 24})
+	if !rep.OK() {
+		t.Error(rep)
+	}
+}
+
+func TestHoistBlockedByDependency(t *testing.T) {
+	g := parser.MustParseCFG(`
+node 1 { a := 1; x := a+b; out(x) }
+edge s 1
+edge 1 e
+`)
+	out, st, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed() {
+		t.Errorf("hoisted a blocked assignment:\n%s", out)
+	}
+}
+
+func TestHoistStopsAtUnanticipatedBranch(t *testing.T) {
+	// x := a+b occurs only on one branch: hoisting above the branch
+	// point would execute it on the other path too — inadmissible.
+	g := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b; out(x) }
+node 2 { out(b) }
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	out, _, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, _ := out.NodeByLabel("0")
+	if len(n0.Stmts) != 0 {
+		t.Errorf("assignment speculated above the branch: %v", n0.Stmts)
+	}
+	rep := verify.CheckTransformed(g, out, verify.Options{Seeds: 24})
+	if !rep.OK() {
+		t.Error(rep)
+	}
+}
+
+func TestHoistMergesAcrossJoin(t *testing.T) {
+	// The same pattern at the start of both branches rises above the
+	// branch point (the m-to-n mirror image).
+	g := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b; out(x+1) }
+node 2 { x := a+b; out(x+2) }
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	out, st, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, _ := out.NodeByLabel("0")
+	if nodeTextOf(n0) != "x := a+b" {
+		t.Errorf("node 0 = %q, want the merged assignment", nodeTextOf(n0))
+	}
+	if st.RemovedCandidates < 2 {
+		t.Errorf("removed %d candidates, want both branch copies", st.RemovedCandidates)
+	}
+	rep := verify.CheckTransformed(g, out, verify.Options{Seeds: 24})
+	if !rep.OK() {
+		t.Error(rep)
+	}
+}
+
+func TestHoistIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := progen.Generate(progen.Params{Seed: seed, Stmts: 40, Vars: 5})
+		once, _, err := Optimize(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		twice, st, err := Optimize(once)
+		if err != nil {
+			t.Fatalf("seed %d second: %v", seed, err)
+		}
+		if st.Changed() || !cfg.Equal(once, twice) {
+			t.Errorf("seed %d: hoisting not idempotent", seed)
+		}
+	}
+}
+
+func TestHoistPreservesSemanticsAndCounts(t *testing.T) {
+	// Hoisting relocates assignments 1:1 along paths: the full check
+	// (outputs + per-pattern non-impairment) must pass, and counts
+	// are in fact *equal*, not merely bounded.
+	for seed := int64(0); seed < 20; seed++ {
+		params := progen.Params{Seed: seed, Stmts: 50, Vars: 5, LoopProb: 0.15, BranchProb: 0.25}
+		if seed%4 == 2 {
+			params.Irreducible = true
+		}
+		g := progen.Generate(params)
+		out, _, err := Optimize(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg.MustValidate(out)
+		rep := verify.CheckTransformed(g, out, verify.Options{Seeds: 24, Fuel: 512})
+		if !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep)
+		}
+		imp := verify.MeasureImprovement(g, out, 24, 512)
+		if imp.OrigAssigns != imp.OptAssigns {
+			t.Errorf("seed %d: hoisting changed dynamic counts %d -> %d (must be exactly preserved)",
+				seed, imp.OrigAssigns, imp.OptAssigns)
+		}
+	}
+}
+
+// TestHoistCannotEliminatePartialDeadness reproduces the paper's
+// Related-Work claim about Dhamdhere's hoisting-based assignment
+// motion [9]: on the figure corpus, hoisting never reduces dynamic
+// assignment counts (savings stay at exactly zero), while pde does.
+func TestHoistCannotEliminatePartialDeadness(t *testing.T) {
+	sawPDEWin := false
+	for _, fig := range figures.All() {
+		if fig.ExpectedPDE == "" {
+			continue
+		}
+		g := fig.Graph()
+		hoisted, _, err := Optimize(g)
+		if err != nil {
+			t.Fatalf("%s: %v", fig.Name, err)
+		}
+		sHoist := verify.MeasureImprovement(g, hoisted, 48, 512).Savings()
+		if sHoist != 0 {
+			t.Errorf("%s: hoisting changed dynamic cost by %.3f — it must be cost-neutral", fig.Name, sHoist)
+		}
+		pde, _, err := core.PDE(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verify.MeasureImprovement(g, pde, 48, 512).Savings() > 0 {
+			sawPDEWin = true
+		}
+	}
+	if !sawPDEWin {
+		t.Error("pde saved nothing on the whole figure corpus — comparison meaningless")
+	}
+}
+
+func TestHoistRejectsInvalidInput(t *testing.T) {
+	g := cfg.New("bad")
+	g.AddNode("orphan")
+	if _, _, err := Optimize(g); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func nodeTextOf(n *cfg.Node) string {
+	var parts []string
+	for _, s := range n.Stmts {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "; ")
+}

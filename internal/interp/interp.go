@@ -1,0 +1,287 @@
+// Package interp executes flow-graph programs. It exists to make the
+// paper's correctness and optimality claims mechanically checkable:
+//
+//   - Semantics preservation: an optimized program must produce the
+//     same output trace as the original on "the similar execution" —
+//     the execution taking the same branch decisions. Branching is
+//     nondeterministic in the paper's model (Section 2), so executions
+//     are driven by a replayable Oracle. The only permitted divergence
+//     is a *reduction* of run-time errors (Section 3).
+//   - Non-impairment: on every replayed execution, the optimized
+//     program must execute at most as many instances of every
+//     assignment pattern as the original (Definition 3.6's "better"
+//     relation, observed on executions rather than syntactic paths).
+//
+// Edge splitting and assignment sinking never change the set of
+// multi-successor nodes or their successor order, so a recorded
+// decision sequence replays one-to-one across transformation.
+package interp
+
+import (
+	"fmt"
+
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// Oracle resolves nondeterministic branches: Choose returns the index
+// of the successor to take at a multi-successor node without a Branch
+// terminator.
+type Oracle interface {
+	Choose(n *cfg.Node, numSuccs int) int
+}
+
+// SeededOracle derives decisions from a deterministic linear
+// congruential generator, so a seed identifies an execution.
+type SeededOracle struct {
+	state uint64
+}
+
+// NewSeededOracle returns an oracle seeded with seed.
+func NewSeededOracle(seed uint64) *SeededOracle {
+	return &SeededOracle{state: seed*6364136223846793005 + 1442695040888963407}
+}
+
+// Choose implements Oracle.
+func (o *SeededOracle) Choose(_ *cfg.Node, numSuccs int) int {
+	o.state = o.state*6364136223846793005 + 1442695040888963407
+	return int((o.state >> 33) % uint64(numSuccs))
+}
+
+// ReplayOracle replays a recorded decision sequence. Decisions beyond
+// the recorded prefix default to successor 0; Exhausted reports
+// whether that happened.
+type ReplayOracle struct {
+	Decisions []int
+	pos       int
+	Exhausted bool
+}
+
+// Choose implements Oracle.
+func (o *ReplayOracle) Choose(_ *cfg.Node, numSuccs int) int {
+	if o.pos >= len(o.Decisions) {
+		o.Exhausted = true
+		return 0
+	}
+	d := o.Decisions[o.pos]
+	o.pos++
+	if d >= numSuccs {
+		d = numSuccs - 1
+	}
+	return d
+}
+
+// Config bounds an execution.
+type Config struct {
+	// MaxBlockVisits is the execution fuel, counted in basic-block
+	// entries (statement counts alone would let empty-block loops
+	// spin forever). Zero selects DefaultFuel.
+	MaxBlockVisits int
+
+	// Input provides initial variable values; variables not present
+	// read as 0.
+	Input map[ir.Var]int64
+}
+
+// DefaultFuel is the default block-visit bound.
+const DefaultFuel = 4096
+
+// Outcome classifies how an execution ended.
+type Outcome int
+
+// Execution outcomes.
+const (
+	// Terminated: execution reached the end node.
+	Terminated Outcome = iota
+	// OutOfFuel: the block-visit bound was exhausted (the program
+	// may diverge on this decision sequence).
+	OutOfFuel
+	// Faulted: a run-time error (division or modulus by zero)
+	// occurred.
+	Faulted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case OutOfFuel:
+		return "out-of-fuel"
+	case Faulted:
+		return "faulted"
+	}
+	return "unknown"
+}
+
+// Trace is the observable record of one execution.
+type Trace struct {
+	Outcome Outcome
+	// Outputs is the sequence of values emitted by out statements.
+	Outputs []int64
+	// Err is the run-time error if Outcome == Faulted.
+	Err error
+	// FaultNode is the label of the faulting block.
+	FaultNode string
+
+	// Decisions records every oracle choice made, enabling replay.
+	Decisions []int
+
+	// AssignExecs is the total number of executed assignment
+	// instances; PatternExecs breaks it down per pattern — the
+	// dynamic counterpart of Definition 3.6's per-path occurrence
+	// counts.
+	AssignExecs  int
+	PatternExecs map[ir.Pattern]int
+
+	// TermEvals counts evaluations of non-trivial expressions
+	// (compound assignment right-hand sides and out/branch
+	// arguments) — the cost metric of partial redundancy
+	// elimination, where an eliminated recomputation becomes a
+	// plain copy.
+	TermEvals int
+
+	// BlockVisits is the consumed fuel; VisitsPerBlock breaks it
+	// down by block label (an execution profile — the input the
+	// paper's Section 7 "hot areas" heuristic presumes); Env is the
+	// final store.
+	BlockVisits    int
+	VisitsPerBlock map[string]int
+	Env            ir.EnvMap
+}
+
+// Run executes g under the oracle and configuration.
+func Run(g *cfg.Graph, oracle Oracle, cfgn Config) *Trace {
+	fuel := cfgn.MaxBlockVisits
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	env := ir.EnvMap{}
+	for v, x := range cfgn.Input {
+		env[v] = x
+	}
+	tr := &Trace{
+		PatternExecs:   make(map[ir.Pattern]int),
+		VisitsPerBlock: make(map[string]int),
+		Env:            env,
+	}
+
+	node := g.Start
+	for {
+		tr.BlockVisits++
+		tr.VisitsPerBlock[node.Label]++
+		if tr.BlockVisits > fuel {
+			tr.Outcome = OutOfFuel
+			return tr
+		}
+		branchTaken := -1
+		for _, s := range node.Stmts {
+			switch st := s.(type) {
+			case ir.Assign:
+				val, err := ir.Eval(st.RHS, env)
+				if err != nil {
+					tr.Outcome = Faulted
+					tr.Err = err
+					tr.FaultNode = node.Label
+					return tr
+				}
+				env[st.LHS] = val
+				tr.AssignExecs++
+				if !ir.IsTrivial(st.RHS) {
+					tr.TermEvals++
+				}
+				p, _ := ir.PatternOf(st)
+				tr.PatternExecs[p]++
+			case ir.Out:
+				val, err := ir.Eval(st.Arg, env)
+				if err != nil {
+					tr.Outcome = Faulted
+					tr.Err = err
+					tr.FaultNode = node.Label
+					return tr
+				}
+				if !ir.IsTrivial(st.Arg) {
+					tr.TermEvals++
+				}
+				tr.Outputs = append(tr.Outputs, val)
+			case ir.Branch:
+				val, err := ir.Eval(st.Cond, env)
+				if err != nil {
+					tr.Outcome = Faulted
+					tr.Err = err
+					tr.FaultNode = node.Label
+					return tr
+				}
+				if val != 0 {
+					branchTaken = 0
+				} else {
+					branchTaken = 1
+				}
+			case ir.Skip:
+				// no effect
+			}
+		}
+		if node == g.End {
+			tr.Outcome = Terminated
+			return tr
+		}
+		succs := node.Succs()
+		switch {
+		case len(succs) == 0:
+			// Validate rejects this; degrade gracefully anyway.
+			tr.Outcome = Terminated
+			return tr
+		case branchTaken >= 0:
+			node = succs[branchTaken]
+		case len(succs) == 1:
+			node = succs[0]
+		default:
+			d := oracle.Choose(node, len(succs))
+			if d < 0 || d >= len(succs) {
+				panic(fmt.Sprintf("interp: oracle chose %d of %d successors", d, len(succs)))
+			}
+			tr.Decisions = append(tr.Decisions, d)
+			node = succs[d]
+		}
+	}
+}
+
+// RunSeeded executes g with a seeded oracle and default configuration.
+func RunSeeded(g *cfg.Graph, seed uint64) *Trace {
+	return Run(g, NewSeededOracle(seed), Config{})
+}
+
+// Replay executes g replaying the decision sequence of an earlier
+// trace.
+func Replay(g *cfg.Graph, decisions []int, cfgn Config) *Trace {
+	return Run(g, &ReplayOracle{Decisions: decisions}, cfgn)
+}
+
+// OutputsEqual reports whether two traces emitted identical output
+// sequences.
+func OutputsEqual(a, b *Trace) bool {
+	if len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i, x := range a.Outputs {
+		if x != b.Outputs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixOutputsEqual reports whether the shorter output sequence is a
+// prefix of the longer — the right comparison when one of the runs ran
+// out of fuel mid-loop.
+func PrefixOutputsEqual(a, b *Trace) bool {
+	n := len(a.Outputs)
+	if len(b.Outputs) < n {
+		n = len(b.Outputs)
+	}
+	for i := 0; i < n; i++ {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// EvalError is a run-time error raised by expression evaluation. The
+// paper notes (Section 3) that dead code elimination may reduce the
+// potential of run-time errors — e.g. a division by zero disappears
+// with the assignment computing it — so the interpreter must model
+// such errors explicitly rather than panic.
+type EvalError struct {
+	Expr Expr
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("evaluating %s: %s", e.Expr, e.Msg)
+}
+
+// Env supplies variable values during evaluation. Lookup of an
+// undefined variable yields ok=false; the evaluator treats that as
+// value 0 (programs analysed by the paper read uninitialized variables
+// freely, e.g. out(a+b) with a, b never assigned).
+type Env interface {
+	Lookup(v Var) (int64, bool)
+}
+
+// EnvMap is a map-backed Env.
+type EnvMap map[Var]int64
+
+// Lookup implements Env.
+func (m EnvMap) Lookup(v Var) (int64, bool) {
+	x, ok := m[v]
+	return x, ok
+}
+
+// Eval computes the value of e under env. Division and modulus by zero
+// return an *EvalError; all other arithmetic wraps silently (two's
+// complement), mirroring typical machine semantics.
+func Eval(e Expr, env Env) (int64, error) {
+	switch x := e.(type) {
+	case Const:
+		return x.Value, nil
+	case VarRef:
+		v, _ := env.Lookup(x.Name)
+		return v, nil
+	case Unary:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op != OpNeg {
+			return 0, &EvalError{Expr: e, Msg: "unknown unary operator " + string(x.Op)}
+		}
+		return -v, nil
+	case Binary:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinary(e, x.Op, l, r)
+	}
+	return 0, &EvalError{Expr: e, Msg: "unknown expression form"}
+}
+
+func applyBinary(e Expr, op Op, l, r int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, &EvalError{Expr: e, Msg: "division by zero"}
+		}
+		return l / r, nil
+	case OpMod:
+		if r == 0 {
+			return 0, &EvalError{Expr: e, Msg: "modulus by zero"}
+		}
+		return l % r, nil
+	case OpEq:
+		return b2i(l == r), nil
+	case OpNe:
+		return b2i(l != r), nil
+	case OpLt:
+		return b2i(l < r), nil
+	case OpLe:
+		return b2i(l <= r), nil
+	case OpGt:
+		return b2i(l > r), nil
+	case OpGe:
+		return b2i(l >= r), nil
+	}
+	return 0, &EvalError{Expr: e, Msg: "unknown binary operator " + string(op)}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CanFault reports whether evaluating e could raise a run-time error
+// for some environment — i.e. whether e contains a division or modulus.
+// The verifier uses this to decide when an output-trace divergence is
+// explained by the paper's permitted semantics change ("reducing the
+// potential of run-time errors").
+func CanFault(e Expr) bool {
+	fault := false
+	Walk(e, func(sub Expr) {
+		if b, ok := sub.(Binary); ok && (b.Op == OpDiv || b.Op == OpMod) {
+			fault = true
+		}
+	})
+	return fault
+}

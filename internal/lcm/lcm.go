@@ -1,0 +1,512 @@
+// Package lcm implements lazy code motion — the partial redundancy
+// elimination of Knoop, Rüthing and Steffen (PLDI '92), references
+// [22, 23] of the paper — in the edge-based formulation of Drechsler
+// and Stadel (reference [12]). Partial dead code elimination is its
+// dual (computations are hoisted against the control flow instead of
+// sunk with it), and the paper's Table 2 delayability analysis is the
+// adaptation of LCM's delayability to assignment sinking; having both
+// in one repository makes the duality inspectable and enables the
+// combined optimization pipeline of examples/pipeline.
+//
+// Phases (on a graph with split critical edges):
+//
+//  1. anticipability (down-safety), backward;
+//  2. availability (up-safety), forward;
+//  3. EARLIEST on edges — the frontier where a computation first
+//     becomes safe and is not already available;
+//  4. LATER/LATERIN — delaying insertions from earliest edges down to
+//     the latest point before a use (minimal temporary lifetimes);
+//  5. INSERT h := t on edges where delaying must stop, rewrite
+//     computations x := t to h := t; x := h (or x := h where the
+//     inserted/flowing value fully covers the computation).
+//
+// The isolation refinement of the original LCM paper is realized here
+// only as a textual collapse of single-use adjacent pairs; residual
+// copies cost a move but never a term evaluation, and dynamic term
+// evaluations are the metric the benchmarks report.
+package lcm
+
+import (
+	"fmt"
+
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
+	"pdce/internal/ir"
+)
+
+// TermTable indexes the motion candidates: non-trivial right-hand-side
+// terms of assignments.
+type TermTable struct {
+	terms []ir.Expr
+	vars  []map[ir.Var]bool
+	index map[string]int
+}
+
+// CollectTerms gathers every motion candidate of g.
+func CollectTerms(g *cfg.Graph) *TermTable {
+	t := &TermTable{index: make(map[string]int)}
+	for _, n := range g.Nodes() {
+		for _, s := range n.Stmts {
+			if a, ok := s.(ir.Assign); ok && !ir.IsTrivial(a.RHS) {
+				t.add(a.RHS)
+			}
+		}
+	}
+	return t
+}
+
+func (t *TermTable) add(e ir.Expr) int {
+	k := e.Key()
+	if i, ok := t.index[k]; ok {
+		return i
+	}
+	i := len(t.terms)
+	t.terms = append(t.terms, e)
+	t.vars = append(t.vars, ir.VarsOf(e))
+	t.index[k] = i
+	return i
+}
+
+// Len returns the number of candidate terms.
+func (t *TermTable) Len() int { return len(t.terms) }
+
+// Term returns candidate i.
+func (t *TermTable) Term(i int) ir.Expr { return t.terms[i] }
+
+// IndexOf returns the candidate index of e, if e is a candidate.
+func (t *TermTable) IndexOf(e ir.Expr) (int, bool) {
+	i, ok := t.index[e.Key()]
+	return i, ok
+}
+
+// locals holds the block-local LCM predicates.
+type locals struct {
+	terms *TermTable
+	// antloc: t computed in n before any modification of its
+	// operands. comp: t computed in n with no operand modified
+	// afterwards. transp: no operand of t modified in n.
+	antloc, comp, transp []*bitvec.Vector
+}
+
+func computeLocals(g *cfg.Graph, tt *TermTable) *locals {
+	nt := tt.Len()
+	l := &locals{
+		terms:  tt,
+		antloc: make([]*bitvec.Vector, g.NumNodes()),
+		comp:   make([]*bitvec.Vector, g.NumNodes()),
+		transp: make([]*bitvec.Vector, g.NumNodes()),
+	}
+	for _, n := range g.Nodes() {
+		antloc := bitvec.New(nt)
+		comp := bitvec.New(nt)
+		transp := bitvec.NewAllOnes(nt)
+		modified := bitvec.New(nt)
+		for _, s := range n.Stmts {
+			a, ok := s.(ir.Assign)
+			if !ok {
+				continue
+			}
+			// The RHS evaluates before the LHS is written.
+			if ti, isCand := tt.IndexOf(a.RHS); isCand {
+				if !modified.Get(ti) {
+					antloc.Set(ti)
+				}
+				comp.Set(ti)
+			}
+			for ti := 0; ti < nt; ti++ {
+				if tt.vars[ti][a.LHS] {
+					modified.Set(ti)
+					transp.Clear(ti)
+					comp.Clear(ti)
+				}
+			}
+		}
+		l.antloc[n.ID] = antloc
+		l.comp[n.ID] = comp
+		l.transp[n.ID] = transp
+	}
+	return l
+}
+
+// --- global analyses --------------------------------------------------
+
+type antProblem struct {
+	l    *locals
+	bits int
+}
+
+func (p *antProblem) Bits() int                     { return p.bits }
+func (p *antProblem) Direction() dataflow.Direction { return dataflow.Backward }
+func (p *antProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *antProblem) Boundary() *bitvec.Vector      { return bitvec.New(p.bits) }
+func (p *antProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+// ANTIN = ANTLOC + TRANSP·ANTOUT
+func (p *antProblem) Transfer(n *cfg.Node, out, in *bitvec.Vector) {
+	in.CopyFrom(out)
+	in.And(p.l.transp[n.ID])
+	in.Or(p.l.antloc[n.ID])
+}
+
+type avProblem struct {
+	l    *locals
+	bits int
+}
+
+func (p *avProblem) Bits() int                     { return p.bits }
+func (p *avProblem) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *avProblem) Meet() dataflow.Meet           { return dataflow.Intersect }
+func (p *avProblem) Boundary() *bitvec.Vector      { return bitvec.New(p.bits) }
+func (p *avProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes(p.bits) }
+
+// AVOUT = COMP + AVIN·TRANSP
+func (p *avProblem) Transfer(n *cfg.Node, in, out *bitvec.Vector) {
+	out.CopyFrom(in)
+	out.And(p.l.transp[n.ID])
+	out.Or(p.l.comp[n.ID])
+}
+
+// Analysis bundles the LCM dataflow solutions for inspection and
+// testing. Edge-valued vectors are indexed by the position of the edge
+// in Graph.Edges().
+type Analysis struct {
+	Terms  *TermTable
+	locals *locals
+	edges  []cfg.Edge
+
+	AntIn, AntOut []*bitvec.Vector // by NodeID
+	AvIn, AvOut   []*bitvec.Vector // by NodeID
+	Earliest      []*bitvec.Vector // by edge index
+	Later         []*bitvec.Vector // by edge index
+	LaterIn       []*bitvec.Vector // by NodeID
+	Insert        []*bitvec.Vector // by edge index
+	Delete        []*bitvec.Vector // by NodeID
+}
+
+// Edges returns the edge list the edge-indexed vectors refer to.
+func (a *Analysis) Edges() []cfg.Edge { return a.edges }
+
+// Analyze runs the LCM analyses on g (critical edges must be split).
+func Analyze(g *cfg.Graph, tt *TermTable) *Analysis {
+	l := computeLocals(g, tt)
+	nt := tt.Len()
+
+	ant := dataflow.Solve(g, &antProblem{l: l, bits: nt})
+	av := dataflow.Solve(g, &avProblem{l: l, bits: nt})
+
+	edges := g.Edges()
+	edgeIdx := make(map[[2]cfg.NodeID]int, len(edges))
+	for i, e := range edges {
+		edgeIdx[[2]cfg.NodeID{e.From.ID, e.To.ID}] = i
+	}
+
+	// EARLIEST(m,n) = ANTIN_n · ¬AVOUT_m · (¬TRANSP_m + ¬ANTOUT_m)
+	earliest := make([]*bitvec.Vector, len(edges))
+	for i, e := range edges {
+		v := l.transp[e.From.ID].Copy()
+		v.And(ant.Out[e.From.ID])
+		v.Not() // ¬TRANSP_m + ¬ANTOUT_m
+		if e.From == g.Start {
+			// Nothing can be hoisted above the start node; the
+			// start edge is always an earliest frontier for
+			// whatever is anticipated there.
+			v.SetAll()
+		}
+		v.AndNot(av.Out[e.From.ID])
+		v.And(ant.In[e.To.ID])
+		earliest[i] = v
+	}
+
+	// LATER/LATERIN: greatest fixpoint of
+	//   LATERIN_n  = ∏_{(m,n)∈E} LATER(m,n)       (∅ at start)
+	//   LATER(m,n) = EARLIEST(m,n) + LATERIN_m·¬ANTLOC_m
+	laterIn := make([]*bitvec.Vector, g.NumNodes())
+	later := make([]*bitvec.Vector, len(edges))
+	for _, n := range g.Nodes() {
+		laterIn[n.ID] = bitvec.NewAllOnes(nt)
+	}
+	laterIn[g.Start.ID] = bitvec.New(nt)
+	for i := range edges {
+		later[i] = bitvec.NewAllOnes(nt)
+	}
+	rpo := cfg.ReversePostorder(g)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range rpo {
+			for _, m := range n.Succs() {
+				i := edgeIdx[[2]cfg.NodeID{n.ID, m.ID}]
+				v := laterIn[n.ID].Copy()
+				v.AndNot(l.antloc[n.ID])
+				v.Or(earliest[i])
+				if !v.Equal(later[i]) {
+					later[i].CopyFrom(v)
+					changed = true
+				}
+			}
+			if n == g.Start {
+				continue
+			}
+			v := bitvec.NewAllOnes(nt)
+			for _, m := range n.Preds() {
+				i := edgeIdx[[2]cfg.NodeID{m.ID, n.ID}]
+				v.And(later[i])
+			}
+			if !v.Equal(laterIn[n.ID]) {
+				laterIn[n.ID].CopyFrom(v)
+				changed = true
+			}
+		}
+	}
+
+	// INSERT(m,n) = LATER(m,n)·¬LATERIN_n ; DELETE_n = ANTLOC_n·¬LATERIN_n
+	insert := make([]*bitvec.Vector, len(edges))
+	for i, e := range edges {
+		v := later[i].Copy()
+		v.AndNot(laterIn[e.To.ID])
+		insert[i] = v
+	}
+	del := make([]*bitvec.Vector, g.NumNodes())
+	for _, n := range g.Nodes() {
+		v := l.antloc[n.ID].Copy()
+		v.AndNot(laterIn[n.ID])
+		del[n.ID] = v
+	}
+
+	return &Analysis{
+		Terms: tt, locals: l, edges: edges,
+		AntIn: ant.In, AntOut: ant.Out,
+		AvIn: av.In, AvOut: av.Out,
+		Earliest: earliest, Later: later, LaterIn: laterIn,
+		Insert: insert, Delete: del,
+	}
+}
+
+// Strategy selects the insertion placement.
+type Strategy int
+
+const (
+	// Lazy delays insertions from the earliest safe points to the
+	// latest (LATER/LATERIN) — minimal temporary lifetimes at equal
+	// computational optimality. This is lazy code motion proper.
+	Lazy Strategy = iota
+	// Busy inserts at the earliest safe points (busy code motion,
+	// the as-early-as-possible placement of Morel/Renvoise lineage
+	// that the LCM paper improves on): computationally equivalent,
+	// but temporaries live longer. Kept as the comparison point for
+	// the lifetimes experiment.
+	Busy
+)
+
+func (st Strategy) String() string {
+	if st == Busy {
+		return "busy"
+	}
+	return "lazy"
+}
+
+// Result describes an applied LCM transformation.
+type Result struct {
+	Graph *cfg.Graph
+	// TempFor maps candidate term index to its temporary variable.
+	TempFor []ir.Var
+	// Inserted counts h := t edge insertions; Deleted counts
+	// computations rewritten to a plain temporary read x := h;
+	// Rewritten counts computations expanded to h := t; x := h.
+	Inserted, Deleted, Rewritten int
+}
+
+// Optimize applies lazy code motion to a copy of g and returns the
+// transformed program. Critical edges are split first; synthetic nodes
+// left empty are removed again.
+func Optimize(g *cfg.Graph) (Result, error) {
+	return OptimizeWith(g, Lazy)
+}
+
+// OptimizeWith is Optimize with an explicit placement strategy.
+func OptimizeWith(g *cfg.Graph, strat Strategy) (Result, error) {
+	if errs := cfg.Validate(g); len(errs) > 0 {
+		return Result{}, fmt.Errorf("lcm: invalid input: %s", errs[0])
+	}
+	out := g.Clone()
+	cfg.SplitCriticalEdges(out)
+	tt := CollectTerms(out)
+	an := Analyze(out, tt)
+	if strat == Busy {
+		// Busy code motion: insert at the earliest safe edges and
+		// retire every down-safe first computation. LATERIN under
+		// this placement is "insertion strictly above": delete
+		// everything ANTLOC (each such computation is covered by
+		// an earliest insertion on every incoming path).
+		for i := range an.Insert {
+			an.Insert[i] = an.Earliest[i].Copy()
+		}
+		for _, n := range out.Nodes() {
+			an.Delete[n.ID] = an.locals.antloc[n.ID].Copy()
+		}
+	}
+
+	// Temporary names must be fresh with respect to the whole
+	// program — including temporaries of earlier LCM applications
+	// (pipelines iterate this pass).
+	taken := out.CollectVars()
+	res := Result{Graph: out, TempFor: make([]ir.Var, tt.Len())}
+	next := 0
+	for ti := range res.TempFor {
+		for {
+			cand := ir.Var(fmt.Sprintf("h.%d", next))
+			next++
+			if _, used := taken.Index(cand); !used {
+				res.TempFor[ti] = cand
+				break
+			}
+		}
+	}
+
+	// Rewrite computations. The first computation of t in a block
+	// with DELETE becomes x := h; every other computation becomes
+	// h := t; x := h so that h is defined on every path that later
+	// reuses it.
+	for _, n := range out.Nodes() {
+		if len(n.Stmts) == 0 {
+			continue
+		}
+		del := an.Delete[n.ID]
+		firstSeen := make(map[int]bool)
+		killedBefore := bitvec.New(tt.Len())
+		var stmts []ir.Stmt
+		for _, s := range n.Stmts {
+			a, ok := s.(ir.Assign)
+			if !ok {
+				stmts = append(stmts, s)
+				continue
+			}
+			ti, isCand := tt.IndexOf(a.RHS)
+			if isCand {
+				h := res.TempFor[ti]
+				isAntloc := !firstSeen[ti] && !killedBefore.Get(ti)
+				firstSeen[ti] = true
+				switch {
+				case isAntloc && del.Get(ti):
+					stmts = append(stmts, ir.Assign{LHS: a.LHS, RHS: ir.V(h)})
+					res.Deleted++
+				default:
+					stmts = append(stmts,
+						ir.Assign{LHS: h, RHS: a.RHS},
+						ir.Assign{LHS: a.LHS, RHS: ir.V(h)})
+					res.Rewritten++
+				}
+			} else {
+				stmts = append(stmts, s)
+			}
+			for t := 0; t < tt.Len(); t++ {
+				if tt.vars[t][a.LHS] {
+					killedBefore.Set(t)
+				}
+			}
+		}
+		n.Stmts = stmts
+	}
+
+	// Materialize edge insertions. With critical edges split, every
+	// insertion edge has a single-successor source or a
+	// single-predecessor target; the one exception is an unsplit
+	// edge out of the (always empty) start node, which we split on
+	// demand.
+	for i, e := range an.Edges() {
+		ins := an.Insert[i]
+		if ins.IsZero() {
+			continue
+		}
+		var defs []ir.Stmt
+		ins.ForEach(func(ti int) {
+			defs = append(defs, ir.Assign{LHS: res.TempFor[ti], RHS: tt.Term(ti)})
+			res.Inserted++
+		})
+		target := insertionPoint(out, e)
+		if target.atExit {
+			target.node.Stmts = append(target.node.Stmts, defs...)
+		} else {
+			target.node.Stmts = append(defs, target.node.Stmts...)
+		}
+	}
+
+	collapseAdjacentTemps(out, res.TempFor)
+	cfg.RemoveEmptySynthetic(out)
+	if errs := cfg.Validate(out); len(errs) > 0 {
+		return res, fmt.Errorf("lcm: produced invalid graph: %s", errs[0])
+	}
+	return res, nil
+}
+
+type placement struct {
+	node   *cfg.Node
+	atExit bool
+}
+
+// insertionPoint decides where code inserted "on" edge e lives. May
+// split the edge with a fresh synthetic node when neither endpoint can
+// host the code alone.
+func insertionPoint(g *cfg.Graph, e cfg.Edge) placement {
+	from, to := e.From, e.To
+	// A single-successor, non-start source hosts the code at its
+	// exit — unless it ends in a branch (single-successor blocks
+	// never do).
+	if from != g.Start && len(from.Succs()) == 1 {
+		return placement{node: from, atExit: true}
+	}
+	if to != g.End && len(to.Preds()) == 1 {
+		return placement{node: to, atExit: false}
+	}
+	// Remaining case: edge out of the start node into a join (never
+	// critical, hence never pre-split), or into the end node. Split
+	// it now.
+	label := fmt.Sprintf("L%s,%s", from.Label, to.Label)
+	for k := 2; ; k++ {
+		if _, taken := g.NodeByLabel(label); !taken {
+			break
+		}
+		label = fmt.Sprintf("L%s,%s#%d", from.Label, to.Label, k)
+	}
+	mid := g.AddNode(label)
+	mid.Synthetic = true
+	g.SplitEdgeWith(from, to, mid)
+	return placement{node: mid, atExit: false}
+}
+
+// collapseAdjacentTemps undoes the textual h := t; x := h pattern when
+// h has no other use in the program — the only isolation case that
+// shows up at block granularity.
+func collapseAdjacentTemps(g *cfg.Graph, temps []ir.Var) {
+	isTemp := make(map[ir.Var]bool, len(temps))
+	for _, h := range temps {
+		isTemp[h] = true
+	}
+	useCount := make(map[ir.Var]int)
+	for _, n := range g.Nodes() {
+		for _, s := range n.Stmts {
+			ir.Uses(s, func(v ir.Var) {
+				if isTemp[v] {
+					useCount[v]++
+				}
+			})
+		}
+	}
+	for _, n := range g.Nodes() {
+		for si := 0; si+1 < len(n.Stmts); si++ {
+			def, ok := n.Stmts[si].(ir.Assign)
+			if !ok || !isTemp[def.LHS] || useCount[def.LHS] != 1 {
+				continue
+			}
+			use, ok := n.Stmts[si+1].(ir.Assign)
+			if !ok {
+				continue
+			}
+			if ref, isRef := use.RHS.(ir.VarRef); isRef && ref.Name == def.LHS {
+				n.Stmts[si+1] = ir.Assign{LHS: use.LHS, RHS: def.RHS}
+				n.Stmts = append(n.Stmts[:si], n.Stmts[si+1:]...)
+				si--
+			}
+		}
+	}
+}

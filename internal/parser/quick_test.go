@@ -1,0 +1,122 @@
+package parser_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+)
+
+// genExpr builds arbitrary expression trees for round-trip testing.
+func genExpr(r *rand.Rand, depth int) ir.Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return ir.C(int64(r.Intn(200) - 100))
+		}
+		vars := []ir.Var{"a", "b", "c", "x", "y"}
+		return ir.V(vars[r.Intn(len(vars))])
+	}
+	if r.Intn(6) == 0 {
+		// Negation of a bare constant is not parser-producible
+		// (the grammar folds it into the literal), so negate
+		// non-constant operands only.
+		x := genExpr(r, depth-1)
+		if _, isConst := x.(ir.Const); !isConst {
+			return ir.Unary{Op: ir.OpNeg, X: x}
+		}
+	}
+	// Relational operators only at the root (the grammar permits a
+	// single relation per expression).
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod}
+	return ir.Bin(ops[r.Intn(len(ops))], genExpr(r, depth-1), genExpr(r, depth-1))
+}
+
+// TestExprPrintParseRoundTrip: String() output of random expression
+// trees re-parses to the identical tree.
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		e := genExpr(r, 5)
+		if i%4 == 0 { // sprinkle relations at the root
+			rel := []ir.Op{ir.OpLt, ir.OpLe, ir.OpEq, ir.OpNe, ir.OpGt, ir.OpGe}
+			e = ir.Bin(rel[r.Intn(len(rel))], e, genExpr(r, 3))
+		}
+		back, err := parser.ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", e.String(), err)
+		}
+		if !ir.ExprEqual(e, back) {
+			t.Fatalf("round trip changed %q: %q vs %q", e.String(), e.Key(), back.Key())
+		}
+	}
+}
+
+// TestGraphFormatParseRoundTrip: random generated programs survive
+// Format -> ParseCFG -> Format unchanged.
+func TestGraphFormatParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		params := progen.Params{Seed: seed, Stmts: 50, LoopProb: 0.15, BranchProb: 0.25, CondProb: 0.7}
+		if seed%3 == 0 {
+			params.Irreducible = true
+		}
+		g := progen.Generate(params)
+		text := g.Format()
+		back, err := parser.ParseCFG(text)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v", seed, err)
+		}
+		if !cfg.Equal(g, back) {
+			t.Fatalf("seed %d: round trip changed graph", seed)
+		}
+		if back.Format() != text {
+			t.Fatalf("seed %d: Format not a fixpoint", seed)
+		}
+	}
+}
+
+// TestSourceLowerInterpretable: random WHILE-language programs built
+// from a grammar-directed generator parse and lower to valid graphs.
+func TestSourceLowerInterpretable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		src := genSource(r, 3, 8)
+		g, err := parser.ParseSource("gen", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		cfg.MustValidate(g)
+	}
+}
+
+// genSource emits a random syntactically valid WHILE program.
+func genSource(r *rand.Rand, depth, stmts int) string {
+	out := ""
+	for i := 0; i < stmts; i++ {
+		switch k := r.Intn(10); {
+		case k < 5 || depth == 0:
+			out += "x" + string(rune('0'+r.Intn(3))) + " := " + genExpr(r, 2).String() + "\n"
+		case k < 6:
+			out += "out(" + genExpr(r, 2).String() + ")\n"
+		case k < 7:
+			out += "skip\n"
+		case k < 8:
+			out += "if " + cond(r) + " {\n" + genSource(r, depth-1, stmts/2) + "} else {\n" + genSource(r, depth-1, stmts/2) + "}\n"
+		case k < 9:
+			out += "while " + cond(r) + " {\n" + genSource(r, depth-1, stmts/2) + "}\n"
+		default:
+			out += "do {\n" + genSource(r, depth-1, stmts/2) + "} while " + cond(r) + "\n"
+		}
+	}
+	out += "out(x0)\n"
+	return out
+}
+
+func cond(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return "*"
+	}
+	return "x" + string(rune('0'+r.Intn(3))) + " > " + genExpr(r, 1).String()
+}

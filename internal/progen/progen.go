@@ -1,0 +1,225 @@
+// Package progen generates random flow-graph programs. It is the
+// workload generator behind the repository's property-based tests and
+// the Section 6 complexity experiments (cmd/benchpaper): the paper has
+// no machine evaluation, so scaling behaviour is measured on seeded
+// synthetic programs whose shape parameters (size, branching, loop
+// density, irreducibility, variable-pool size) are controlled here.
+//
+// Generation is deterministic in the seed.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+	"pdce/internal/parser"
+)
+
+// Params controls generation.
+type Params struct {
+	// Seed drives all random choices.
+	Seed int64
+
+	// Stmts is the approximate number of statements to generate.
+	Stmts int
+
+	// Vars is the size of the variable pool. Small pools produce
+	// dense def-use interference (more blocking, more dead code);
+	// large pools produce independent code. Default 8.
+	Vars int
+
+	// OutEvery inserts roughly one out statement per OutEvery
+	// generated statements, anchoring liveness. Default 6.
+	OutEvery int
+
+	// BranchProb and LoopProb control the probability that a
+	// structured construct is emitted instead of a plain
+	// assignment (defaults 0.15 and 0.08).
+	BranchProb, LoopProb float64
+
+	// CondProb is the probability that a branch or loop gets a
+	// concrete condition instead of nondeterministic choice
+	// (default 0.5).
+	CondProb float64
+
+	// MaxDepth bounds construct nesting (default 4).
+	MaxDepth int
+
+	// Irreducible, when true, selects the arbitrary-CFG generator,
+	// which adds cross edges that typically make the graph
+	// irreducible (the paper's Figure 5 regime). Otherwise the
+	// structured WHILE-language generator is used.
+	Irreducible bool
+
+	// DivProb is the probability that a generated expression uses
+	// division (a potential run-time fault). Default 0: the
+	// equivalence checker treats fault-potential reduction
+	// specially, and most tests want noise-free traces.
+	DivProb float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Stmts <= 0 {
+		p.Stmts = 40
+	}
+	if p.Vars <= 0 {
+		p.Vars = 8
+	}
+	if p.OutEvery <= 0 {
+		p.OutEvery = 6
+	}
+	if p.BranchProb == 0 {
+		p.BranchProb = 0.15
+	}
+	if p.LoopProb == 0 {
+		p.LoopProb = 0.08
+	}
+	if p.CondProb == 0 {
+		p.CondProb = 0.5
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 4
+	}
+	return p
+}
+
+// Generate produces a valid random program.
+func Generate(p Params) *cfg.Graph {
+	p = p.withDefaults()
+	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	if p.Irreducible {
+		return g.arbitraryCFG()
+	}
+	return g.structured()
+}
+
+type gen struct {
+	p     Params
+	rng   *rand.Rand
+	count int // statements generated so far
+}
+
+func (g *gen) varName(i int) ir.Var {
+	return ir.Var(fmt.Sprintf("v%d", i))
+}
+
+func (g *gen) randVar() ir.Expr { return ir.V(g.varName(g.rng.Intn(g.p.Vars))) }
+
+func (g *gen) randExpr(depth int) ir.Expr {
+	if depth <= 0 || g.rng.Float64() < 0.35 {
+		if g.rng.Float64() < 0.25 {
+			return ir.C(int64(g.rng.Intn(64) - 16))
+		}
+		return g.randVar()
+	}
+	ops := []ir.Op{ir.OpAdd, ir.OpAdd, ir.OpSub, ir.OpMul}
+	op := ops[g.rng.Intn(len(ops))]
+	if g.p.DivProb > 0 && g.rng.Float64() < g.p.DivProb {
+		op = ir.OpDiv
+	}
+	return ir.Bin(op, g.randExpr(depth-1), g.randExpr(depth-1))
+}
+
+func (g *gen) randCond() ir.Expr {
+	rel := []ir.Op{ir.OpLt, ir.OpLe, ir.OpEq, ir.OpNe, ir.OpGt}
+	return ir.Bin(rel[g.rng.Intn(len(rel))], g.randVar(), g.randExpr(1))
+}
+
+func (g *gen) randSimple() ir.Stmt {
+	g.count++
+	if g.count%g.p.OutEvery == 0 {
+		return ir.Out{Arg: g.randExpr(2)}
+	}
+	return ir.Assign{LHS: ir.Var(string(g.varName(g.rng.Intn(g.p.Vars)))), RHS: g.randExpr(2)}
+}
+
+// --- structured generator -------------------------------------------
+
+func (g *gen) structured() *cfg.Graph {
+	body := g.stmtList(g.p.Stmts, g.p.MaxDepth)
+	// Anchor liveness of the program tail.
+	body = append(body, parser.SrcSimple{S: ir.Out{Arg: g.randExpr(2)}})
+	graph, err := parser.Lower(fmt.Sprintf("gen-%d", g.p.Seed), body)
+	if err != nil {
+		panic("progen: generated invalid structured program: " + err.Error())
+	}
+	return graph
+}
+
+func (g *gen) stmtList(budget, depth int) []parser.SrcStmt {
+	var out []parser.SrcStmt
+	for budget > 0 {
+		switch {
+		case depth > 0 && g.rng.Float64() < g.p.LoopProb:
+			n := 1 + g.rng.Intn(budget)
+			body := g.stmtList(n/2+1, depth-1)
+			out = append(out, parser.SrcWhile{Cond: g.maybeCond(), Body: body})
+			budget -= n/2 + 1
+		case depth > 0 && g.rng.Float64() < g.p.BranchProb:
+			n := 1 + g.rng.Intn(budget)
+			thenB := g.stmtList(n/2+1, depth-1)
+			elseB := g.stmtList(n/2+1, depth-1)
+			out = append(out, parser.SrcIf{Cond: g.maybeCond(), Then: thenB, Else: elseB})
+			budget -= n + 1
+		default:
+			out = append(out, parser.SrcSimple{S: g.randSimple()})
+			budget--
+		}
+	}
+	return out
+}
+
+func (g *gen) maybeCond() ir.Expr {
+	if g.rng.Float64() < g.p.CondProb {
+		return g.randCond()
+	}
+	return nil
+}
+
+// --- arbitrary-CFG generator ----------------------------------------
+
+// arbitraryCFG builds a random graph with unconstrained (typically
+// irreducible) branching: a backbone path guarantees that every node
+// is reachable from start and reaches end, then random forward and
+// backward cross edges are layered on top. Only nondeterministic
+// branching is used, so any out-degree is valid.
+func (g *gen) arbitraryCFG() *cfg.Graph {
+	stmtsPerBlock := 3
+	numBlocks := g.p.Stmts/stmtsPerBlock + 2
+	graph := cfg.New(fmt.Sprintf("gen-irr-%d", g.p.Seed))
+	blocks := make([]*cfg.Node, numBlocks)
+	for i := range blocks {
+		blocks[i] = graph.AddNode(fmt.Sprintf("n%d", i))
+		k := g.rng.Intn(stmtsPerBlock*2 - 1)
+		for j := 0; j < k && g.count < g.p.Stmts; j++ {
+			blocks[i].Stmts = append(blocks[i].Stmts, g.randSimple())
+		}
+	}
+	// Make the final block observable so the whole program is not
+	// trivially dead.
+	blocks[numBlocks-1].Stmts = append(blocks[numBlocks-1].Stmts, ir.Out{Arg: g.randExpr(2)})
+
+	// Backbone: s -> n0 -> n1 -> ... -> n(k-1) -> e.
+	graph.AddEdge(graph.Start, blocks[0])
+	for i := 0; i+1 < numBlocks; i++ {
+		graph.AddEdge(blocks[i], blocks[i+1])
+	}
+	graph.AddEdge(blocks[numBlocks-1], graph.End)
+
+	// Cross edges: forward jumps and back edges between arbitrary
+	// blocks; landing back edges into the middle of other "loops"
+	// is what produces irreducibility.
+	extra := numBlocks / 2
+	for i := 0; i < extra; i++ {
+		a := blocks[g.rng.Intn(numBlocks)]
+		b := blocks[g.rng.Intn(numBlocks)]
+		if a == b || graph.HasEdge(a, b) {
+			continue
+		}
+		graph.AddEdge(a, b)
+	}
+	cfg.MustValidate(graph)
+	return graph
+}

@@ -1,0 +1,102 @@
+package verify
+
+import (
+	"fmt"
+
+	"pdce/internal/cfg"
+	"pdce/internal/interp"
+)
+
+// EnumerateDecisions walks the complete tree of nondeterministic
+// branch decisions of g, bounded by fuel per execution and maxRuns in
+// total, and returns every decision sequence that drives one complete
+// execution. For acyclic programs this is the exact set of program
+// paths; for cyclic programs the fuel bound truncates infinite
+// branches (truncated runs are still returned — their sequences replay
+// deterministically either way).
+//
+// The enumeration works by prefix extension: a run is performed with a
+// candidate prefix; if the interpreter consumed the whole prefix and
+// asked for more, the prefix forks into one child per successor
+// choice.
+func EnumerateDecisions(g *cfg.Graph, fuel, maxRuns int) ([][]int, error) {
+	if fuel <= 0 {
+		fuel = interp.DefaultFuel
+	}
+	var complete [][]int
+	queue := [][]int{{}}
+	runs := 0
+	for len(queue) > 0 {
+		prefix := queue[0]
+		queue = queue[1:]
+		runs++
+		if maxRuns > 0 && runs > maxRuns {
+			return nil, fmt.Errorf("verify: more than %d executions while enumerating decisions", maxRuns)
+		}
+		oracle := &countingOracle{decisions: prefix}
+		interp.Run(g, oracle, interp.Config{MaxBlockVisits: fuel})
+		if oracle.extended {
+			// The run needed more decisions than the prefix
+			// held: fork on the first missing choice.
+			for c := 0; c < oracle.firstWidth; c++ {
+				child := make([]int, len(prefix)+1)
+				copy(child, prefix)
+				child[len(prefix)] = c
+				queue = append(queue, child)
+			}
+			continue
+		}
+		complete = append(complete, prefix)
+	}
+	return complete, nil
+}
+
+// countingOracle replays a fixed prefix and records whether the
+// execution needed more decisions (and how wide the first missing
+// choice point was).
+type countingOracle struct {
+	decisions  []int
+	pos        int
+	extended   bool
+	firstWidth int
+}
+
+func (o *countingOracle) Choose(_ *cfg.Node, numSuccs int) int {
+	if o.pos < len(o.decisions) {
+		d := o.decisions[o.pos]
+		o.pos++
+		if d >= numSuccs {
+			d = numSuccs - 1
+		}
+		return d
+	}
+	if !o.extended {
+		o.extended = true
+		o.firstWidth = numSuccs
+	}
+	return 0
+}
+
+// CheckTransformedExhaustive verifies orig against opt over EVERY
+// nondeterministic execution (up to fuel truncation), rather than a
+// random sample — feasible for the paper's figure-sized programs. The
+// decision tree is enumerated on the original program; each sequence
+// is replayed on both.
+func CheckTransformedExhaustive(orig, opt *cfg.Graph, fuel, maxRuns int) (*Report, error) {
+	if maxRuns <= 0 {
+		maxRuns = 1 << 14
+	}
+	seqs, err := EnumerateDecisions(orig, fuel, maxRuns)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for i, seq := range seqs {
+		cfgn := interp.Config{MaxBlockVisits: fuel}
+		a := interp.Replay(orig, seq, cfgn)
+		b := interp.Replay(opt, seq, cfgn)
+		rep.Executions++
+		compareTraces(rep, i, a, b, false)
+	}
+	return rep, nil
+}

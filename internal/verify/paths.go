@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// IsAcyclic reports whether g contains no directed cycle.
+func IsAcyclic(g *cfg.Graph) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.NumNodes())
+	var visit func(n *cfg.Node) bool
+	visit = func(n *cfg.Node) bool {
+		color[n.ID] = gray
+		for _, s := range n.Succs() {
+			switch color[s.ID] {
+			case gray:
+				return false
+			case white:
+				if !visit(s) {
+					return false
+				}
+			}
+		}
+		color[n.ID] = black
+		return true
+	}
+	return visit(g.Start)
+}
+
+// PathProfile maps a branch-decision sequence (the identity of a
+// complete s→e path; Definition 3.6 footnote 5: the preserved
+// branching structure makes paths of the original and transformed
+// program correspond) to the number of occurrences of each assignment
+// pattern along that path.
+type PathProfile map[string]map[ir.Pattern]int
+
+// EnumerateProfiles walks every s→e path of an acyclic graph and
+// returns its profile. It returns an error for cyclic graphs or when
+// more than maxPaths paths exist (0 selects 1 << 16).
+func EnumerateProfiles(g *cfg.Graph, maxPaths int) (PathProfile, error) {
+	if !IsAcyclic(g) {
+		return nil, fmt.Errorf("verify: graph %q is cyclic; path profiles require an acyclic graph", g.Name)
+	}
+	if maxPaths <= 0 {
+		maxPaths = 1 << 16
+	}
+	prof := PathProfile{}
+	var decisions []string
+	counts := map[ir.Pattern]int{}
+
+	var walk func(n *cfg.Node) error
+	walk = func(n *cfg.Node) error {
+		local := make([]ir.Pattern, 0, len(n.Stmts))
+		for _, s := range n.Stmts {
+			if p, ok := ir.PatternOf(s); ok {
+				counts[p]++
+				local = append(local, p)
+			}
+		}
+		defer func() {
+			for _, p := range local {
+				counts[p]--
+			}
+		}()
+		if n == g.End {
+			if len(prof) >= maxPaths {
+				return fmt.Errorf("verify: more than %d paths", maxPaths)
+			}
+			key := strings.Join(decisions, ",")
+			snapshot := make(map[ir.Pattern]int)
+			for p, c := range counts {
+				if c > 0 {
+					snapshot[p] = c
+				}
+			}
+			prof[key] = snapshot
+			return nil
+		}
+		succs := n.Succs()
+		for i, s := range succs {
+			// Only genuine branch points contribute to the
+			// path identity: single-successor hops (including
+			// through synthetic nodes) are invisible, which is
+			// what lets profiles of the original and the
+			// transformed graph share keys.
+			if len(succs) > 1 {
+				decisions = append(decisions, fmt.Sprint(i))
+			}
+			if err := walk(s); err != nil {
+				return err
+			}
+			if len(succs) > 1 {
+				decisions = decisions[:len(decisions)-1]
+			}
+		}
+		return nil
+	}
+	if err := walk(g.Start); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// BetterOrEqual implements Definition 3.6 on acyclic graphs: a is at
+// least as good as b when on every path p and for every assignment
+// pattern α, the number of occurrences of α on p in a is at most that
+// in b. It returns the list of witnesses against the relation (empty
+// when a ⊒ b holds).
+func BetterOrEqual(a, b *cfg.Graph, maxPaths int) ([]string, error) {
+	pa, err := EnumerateProfiles(a, maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := EnumerateProfiles(b, maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	keys := make([]string, 0, len(pa))
+	for k := range pa {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cb, ok := pb[k]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("path [%s] exists only in the first graph (branching structure changed)", k))
+			continue
+		}
+		for p, na := range pa[k] {
+			if na > cb[p] {
+				bad = append(bad, fmt.Sprintf("path [%s]: pattern %q occurs %d times, %d in comparison", k, p, na, cb[p]))
+			}
+		}
+	}
+	for k := range pb {
+		if _, ok := pa[k]; !ok {
+			bad = append(bad, fmt.Sprintf("path [%s] exists only in the second graph (branching structure changed)", k))
+		}
+	}
+	return bad, nil
+}

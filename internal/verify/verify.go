@@ -1,0 +1,207 @@
+// Package verify checks the paper's guarantees on concrete program
+// pairs:
+//
+//   - Semantics preservation (Section 3): the transformed program
+//     produces the same output trace on the similar execution — the
+//     one taking the same branch decisions — with the single permitted
+//     exception that run-time errors may be *reduced* (an eliminated
+//     or postponed assignment no longer faults).
+//   - Non-impairment (guarantee below Definition 3.6): on every
+//     execution, the transformed program executes at most as many
+//     instances of every assignment pattern as the original.
+//   - The static "better" relation of Definition 3.6, decidable by
+//     path enumeration on acyclic graphs.
+package verify
+
+import (
+	"fmt"
+
+	"pdce/internal/cfg"
+	"pdce/internal/interp"
+	"pdce/internal/ir"
+)
+
+// Report collects the findings of an equivalence check.
+type Report struct {
+	// Executions is the number of sampled executions.
+	Executions int
+	// Violations lists hard failures (semantics changes or
+	// impairments); empty means the pair passed.
+	Violations []string
+	// FaultReductions counts executions on which the original
+	// faulted but the transformed program kept going — a permitted
+	// semantics change.
+	FaultReductions int
+	// Truncated counts executions where fuel ran out and only the
+	// output prefix was compared.
+	Truncated int
+}
+
+// OK reports whether no violation was found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("ok: %d executions (%d truncated, %d fault reductions)",
+			r.Executions, r.Truncated, r.FaultReductions)
+	}
+	return fmt.Sprintf("FAILED: %d violations in %d executions; first: %s",
+		len(r.Violations), r.Executions, r.Violations[0])
+}
+
+// Options configures an equivalence check.
+type Options struct {
+	// Seeds is the number of random executions to sample
+	// (default 64).
+	Seeds int
+	// Fuel bounds each execution in block visits (default
+	// interp.DefaultFuel).
+	Fuel int
+	// Inputs optionally supplies initial stores to cycle through.
+	Inputs []map[ir.Var]int64
+	// OutputsOnly skips the non-impairment (assignment count)
+	// comparison, checking observable behaviour only. Required for
+	// transformations that legitimately rename or add assignments,
+	// such as lazy code motion's temporaries.
+	OutputsOnly bool
+}
+
+// CheckTransformed verifies that opt is a valid result of partial dead
+// code elimination applied to orig: semantics preserved (modulo fault
+// reduction) and no execution impaired.
+func CheckTransformed(orig, opt *cfg.Graph, o Options) *Report {
+	if o.Seeds <= 0 {
+		o.Seeds = 64
+	}
+	if o.Fuel <= 0 {
+		o.Fuel = interp.DefaultFuel
+	}
+	if len(o.Inputs) == 0 {
+		o.Inputs = []map[ir.Var]int64{nil}
+	}
+	rep := &Report{}
+	for s := 0; s < o.Seeds; s++ {
+		input := o.Inputs[s%len(o.Inputs)]
+		cfgn := interp.Config{MaxBlockVisits: o.Fuel, Input: input}
+		a := interp.Run(orig, interp.NewSeededOracle(uint64(s)*2654435761+1), cfgn)
+		b := interp.Replay(opt, a.Decisions, cfgn)
+		rep.Executions++
+		compareTraces(rep, s, a, b, o.OutputsOnly)
+	}
+	return rep
+}
+
+func compareTraces(rep *Report, seed int, a, b *interp.Trace, outputsOnly bool) {
+	fail := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("seed %d: %s", seed, fmt.Sprintf(format, args...)))
+	}
+
+	truncated := a.Outcome == interp.OutOfFuel || b.Outcome == interp.OutOfFuel
+	if truncated {
+		rep.Truncated++
+		// Fuel is counted in block visits, which differ between
+		// the two graphs (synthetic nodes), so only the common
+		// output prefix is comparable.
+		if !interp.PrefixOutputsEqual(a, b) {
+			fail("output prefixes diverge: %v vs %v", a.Outputs, b.Outputs)
+		}
+		return
+	}
+
+	switch a.Outcome {
+	case interp.Terminated:
+		if b.Outcome == interp.Faulted {
+			fail("transformed program introduced a run-time error: %v at node %s", b.Err, b.FaultNode)
+			return
+		}
+		if !interp.OutputsEqual(a, b) {
+			fail("outputs differ: %v vs %v", a.Outputs, b.Outputs)
+			return
+		}
+	case interp.Faulted:
+		// The original faulted. The transformation may remove or
+		// postpone the fault; everything observed before the
+		// original fault must be preserved.
+		if !prefixOf(a.Outputs, b.Outputs) {
+			fail("outputs before original fault not preserved: %v vs %v", a.Outputs, b.Outputs)
+			return
+		}
+		if b.Outcome != interp.Faulted || len(b.Outputs) != len(a.Outputs) {
+			rep.FaultReductions++
+		}
+		// Assignment counts are incomparable across a fault
+		// divergence (the runs have different lengths).
+		return
+	}
+
+	if outputsOnly {
+		return
+	}
+
+	// Non-impairment: per-pattern executed instances must not grow.
+	for p, nb := range b.PatternExecs {
+		if na := a.PatternExecs[p]; nb > na {
+			fail("pattern %q impaired: executed %d times, originally %d", p, nb, na)
+		}
+	}
+	if b.AssignExecs > a.AssignExecs {
+		fail("total assignment executions grew: %d vs %d", b.AssignExecs, a.AssignExecs)
+	}
+}
+
+func prefixOf(short, long []int64) bool {
+	if len(short) > len(long) {
+		return false
+	}
+	for i, x := range short {
+		if long[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// CountImprovement summarizes, over sampled executions, how many
+// assignment instances the transformation saved — the quantity the
+// paper's Definition 3.6 orders programs by. Positive totals mean opt
+// executes fewer assignments.
+type CountImprovement struct {
+	Executions              int
+	OrigAssigns, OptAssigns int
+}
+
+// Savings returns the fraction of dynamic assignment executions
+// removed (0 when the original executed none).
+func (c CountImprovement) Savings() float64 {
+	if c.OrigAssigns == 0 {
+		return 0
+	}
+	return 1 - float64(c.OptAssigns)/float64(c.OrigAssigns)
+}
+
+// MeasureImprovement samples executions and accumulates dynamic
+// assignment counts for both programs. Faulting and out-of-fuel
+// executions are skipped (counts are incomparable there).
+func MeasureImprovement(orig, opt *cfg.Graph, seeds, fuel int) CountImprovement {
+	if fuel <= 0 {
+		fuel = interp.DefaultFuel
+	}
+	var c CountImprovement
+	for s := 0; s < seeds; s++ {
+		cfgn := interp.Config{MaxBlockVisits: fuel}
+		a := interp.Run(orig, interp.NewSeededOracle(uint64(s)*2654435761+1), cfgn)
+		if a.Outcome != interp.Terminated {
+			continue
+		}
+		b := interp.Replay(opt, a.Decisions, cfgn)
+		if b.Outcome != interp.Terminated {
+			continue
+		}
+		c.Executions++
+		c.OrigAssigns += a.AssignExecs
+		c.OptAssigns += b.AssignExecs
+	}
+	return c
+}

@@ -1,0 +1,395 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pdce/internal/parser"
+)
+
+func TestCheckTransformedIdentity(t *testing.T) {
+	g := parser.MustParseSource("p", `
+x := a + b
+if * { out(x) } else { out(0) }
+`)
+	rep := CheckTransformed(g, g.Clone(), Options{Seeds: 16})
+	if !rep.OK() {
+		t.Fatalf("identity transformation flagged: %s", rep)
+	}
+	if rep.Executions != 16 {
+		t.Errorf("Executions = %d", rep.Executions)
+	}
+}
+
+func TestCheckTransformedCatchesOutputChange(t *testing.T) {
+	g := parser.MustParseSource("p", `out(1)`)
+	h := parser.MustParseSource("p", `out(2)`)
+	rep := CheckTransformed(g, h, Options{Seeds: 4})
+	if rep.OK() {
+		t.Fatal("changed output not detected")
+	}
+	if !strings.Contains(rep.Violations[0], "outputs differ") {
+		t.Errorf("violation = %q", rep.Violations[0])
+	}
+}
+
+func TestCheckTransformedCatchesImpairment(t *testing.T) {
+	// "Optimized" program executes the assignment on both branches
+	// instead of one — a Definition 3.6 impairment even though the
+	// outputs agree.
+	orig := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b; out(x) }
+node 2 { out(a+b) }
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	worse := parser.MustParseCFG(`
+node 0 { x := a+b }
+node 1 { out(x) }
+node 2 { out(a+b) }
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	rep := CheckTransformed(orig, worse, Options{Seeds: 32})
+	if rep.OK() {
+		t.Fatal("impairment not detected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "impaired") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no impairment violation in %v", rep.Violations)
+	}
+	// OutputsOnly mode must accept the pair (outputs agree).
+	rep2 := CheckTransformed(orig, worse, Options{Seeds: 32, OutputsOnly: true})
+	if !rep2.OK() {
+		t.Errorf("OutputsOnly flagged an output-equivalent pair: %s", rep2)
+	}
+}
+
+func TestCheckTransformedFaultReductionPermitted(t *testing.T) {
+	orig := parser.MustParseSource("p", `
+z := 0
+x := 1 / z
+out(5)
+`)
+	// The faulting assignment eliminated: execution now succeeds.
+	opt := parser.MustParseSource("p", `
+z := 0
+out(5)
+`)
+	rep := CheckTransformed(orig, opt, Options{Seeds: 4})
+	if !rep.OK() {
+		t.Fatalf("fault reduction flagged as violation: %s", rep)
+	}
+	if rep.FaultReductions == 0 {
+		t.Error("fault reduction not counted")
+	}
+}
+
+func TestCheckTransformedFaultIntroductionRejected(t *testing.T) {
+	orig := parser.MustParseSource("p", `
+z := 0
+out(5)
+`)
+	opt := parser.MustParseSource("p", `
+z := 0
+x := 1 / z
+out(5)
+`)
+	rep := CheckTransformed(orig, opt, Options{Seeds: 4})
+	if rep.OK() {
+		t.Fatal("introduced fault not detected")
+	}
+	if !strings.Contains(rep.Violations[0], "introduced a run-time error") {
+		t.Errorf("violation = %q", rep.Violations[0])
+	}
+}
+
+func TestCheckTransformedTruncatedRuns(t *testing.T) {
+	// A loop that never terminates on a concrete condition: every
+	// execution runs out of fuel.
+	g := parser.MustParseSource("p", `
+while 1 > 0 { out(1) }
+out(2)
+`)
+	rep := CheckTransformed(g, g.Clone(), Options{Seeds: 8, Fuel: 16})
+	if !rep.OK() {
+		t.Fatalf("identical diverging programs flagged: %s", rep)
+	}
+	if rep.Truncated == 0 {
+		t.Error("no truncated executions recorded despite tiny fuel")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	acyclic := parser.MustParseSource("p", `
+if * { out(1) } else { out(2) }
+`)
+	if !IsAcyclic(acyclic) {
+		t.Error("diamond reported cyclic")
+	}
+	cyclic := parser.MustParseSource("p", `
+while * { skip }
+out(1)
+`)
+	if IsAcyclic(cyclic) {
+		t.Error("loop reported acyclic")
+	}
+}
+
+func TestEnumerateProfiles(t *testing.T) {
+	g := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b }
+node 2 {}
+node 3 { out(x) }
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	prof, err := EnumerateProfiles(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 2 {
+		t.Fatalf("profiles = %v, want 2 paths", prof)
+	}
+	// Path through node 1 (decision 0) carries one occurrence.
+	p0, ok := prof["0"]
+	if !ok {
+		t.Fatalf("no path keyed 0: %v", prof)
+	}
+	total := 0
+	for _, c := range p0 {
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("path 0 pattern count = %d, want 1", total)
+	}
+	if counts := prof["1"]; len(counts) != 0 {
+		t.Errorf("path 1 counts = %v, want none", counts)
+	}
+}
+
+func TestEnumerateProfilesRejectsCycles(t *testing.T) {
+	g := parser.MustParseSource("p", `
+while * { skip }
+out(1)
+`)
+	if _, err := EnumerateProfiles(g, 0); err == nil {
+		t.Error("cycle not rejected")
+	}
+}
+
+func TestEnumerateProfilesPathLimit(t *testing.T) {
+	// 2^12 paths exceed a limit of 100.
+	src := "out(1)\n"
+	for i := 0; i < 12; i++ {
+		src = "if * { skip } else { skip }\n" + src
+	}
+	g, err := parser.ParseSource("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumerateProfiles(g, 100); err == nil {
+		t.Error("path explosion not reported")
+	}
+}
+
+func TestBetterOrEqual(t *testing.T) {
+	orig := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b; out(x) }
+node 2 { x := a+b }
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	// The version with the dead occurrence on path 2 removed.
+	better := parser.MustParseCFG(`
+node 0 {}
+node 1 { x := a+b; out(x) }
+node 2 {}
+node 3 {}
+edge s 0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+edge 3 e
+`)
+	if bad, err := BetterOrEqual(better, orig, 0); err != nil || len(bad) > 0 {
+		t.Errorf("better ⊒ orig rejected: %v %v", bad, err)
+	}
+	// The reverse direction must fail: orig has an extra occurrence
+	// on the path through node 2.
+	bad, err := BetterOrEqual(orig, better, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Error("orig ⊒ better accepted; the relation is not symmetric here")
+	}
+}
+
+func TestMeasureImprovement(t *testing.T) {
+	orig := parser.MustParseSource("p", `
+x := a + b
+y := c + d
+out(x)
+`)
+	opt := parser.MustParseSource("p", `
+x := a + b
+out(x)
+`)
+	imp := MeasureImprovement(orig, opt, 8, 0)
+	if imp.Executions != 8 {
+		t.Errorf("Executions = %d", imp.Executions)
+	}
+	if imp.Savings() <= 0.49 || imp.Savings() >= 0.51 {
+		t.Errorf("Savings = %f, want 0.5", imp.Savings())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Executions: 3}
+	if !strings.Contains(r.String(), "ok") {
+		t.Error("ok report misrendered")
+	}
+	r.Violations = append(r.Violations, "boom")
+	if !strings.Contains(r.String(), "FAILED") {
+		t.Error("failing report misrendered")
+	}
+}
+
+// --- exhaustive enumeration -------------------------------------------
+
+func TestEnumerateDecisionsDiamond(t *testing.T) {
+	g := parser.MustParseSource("p", `
+if * { out(1) } else { out(2) }
+if * { out(3) } else { out(4) }
+`)
+	seqs, err := EnumerateDecisions(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("enumerated %d executions, want 4: %v", len(seqs), seqs)
+	}
+	seen := map[string]bool{}
+	for _, s := range seqs {
+		seen[fmt.Sprint(s)] = true
+	}
+	for _, want := range []string{"[0 0]", "[0 1]", "[1 0]", "[1 1]"} {
+		if !seen[want] {
+			t.Errorf("missing decision sequence %s", want)
+		}
+	}
+}
+
+func TestEnumerateDecisionsStraightLine(t *testing.T) {
+	g := parser.MustParseSource("p", `out(1)`)
+	seqs, err := EnumerateDecisions(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || len(seqs[0]) != 0 {
+		t.Fatalf("want one empty sequence, got %v", seqs)
+	}
+}
+
+func TestEnumerateDecisionsLoopTruncated(t *testing.T) {
+	// A nondeterministic loop has unboundedly many decision
+	// sequences; the fuel bound makes the tree finite.
+	g := parser.MustParseSource("p", `
+while * { skip }
+out(1)
+`)
+	seqs, err := EnumerateDecisions(g, 12, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 4 {
+		t.Errorf("loop enumeration suspiciously small: %d", len(seqs))
+	}
+}
+
+func TestEnumerateDecisionsRunCap(t *testing.T) {
+	src := "out(1)\n"
+	for i := 0; i < 10; i++ {
+		src = "if * { skip } else { skip }\n" + src
+	}
+	g, err := parser.ParseSource("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumerateDecisions(g, 0, 100); err == nil {
+		t.Error("run cap not enforced")
+	}
+}
+
+func TestCheckTransformedExhaustive(t *testing.T) {
+	orig := parser.MustParseSource("p", `
+y := a + b
+if * { y := c }
+out(x + y)
+`)
+	// A correct optimization passes...
+	good := parser.MustParseCFG(`
+node b1 {}
+node b2 { y := c }
+node b3 { y := a+b }
+node b4 { out(x+y) }
+edge s b1
+edge b1 b2
+edge b1 b3
+edge b2 b4
+edge b3 b4
+edge b4 e
+`)
+	rep, err := CheckTransformedExhaustive(orig, good, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Executions != 2 {
+		t.Fatalf("good pair rejected: %s (execs=%d)", rep, rep.Executions)
+	}
+	// ...and an output-changing one fails (the changed branch writes
+	// a different constant, observable even under the default
+	// all-zero environment).
+	bad := parser.MustParseSource("p", `
+y := a + b
+if * { y := c + 5 }
+out(x + y)
+`)
+	rep2, err := CheckTransformedExhaustive(orig, bad, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.OK() {
+		t.Error("semantics change not caught exhaustively")
+	}
+}

@@ -1,0 +1,444 @@
+// Package pdce is the public API of this repository: a from-scratch
+// implementation of
+//
+//	J. Knoop, O. Rüthing, B. Steffen:
+//	"Partial Dead Code Elimination", PLDI 1994.
+//
+// The optimizer removes partially dead assignments — assignments dead
+// along some but not all control flow paths — by alternating
+// admissible assignment sinking with dead (or faint) code elimination
+// until the program stabilizes. The result is optimal in the paper's
+// sense: no remaining partially dead code can be eliminated without
+// changing the branching structure or semantics of the program, or
+// impairing some execution.
+//
+// Programs are nondeterministic flow graphs over three statement
+// forms: assignments x := t, skip, and the relevant statements out(t)
+// and branch(t) whose operands must stay alive. Two textual front ends
+// are provided: a structured WHILE-language (ParseSource) and a
+// low-level node/edge format (ParseCFG) capable of irreducible control
+// flow.
+//
+// Quick start:
+//
+//	p, err := pdce.ParseSource("demo", `
+//	    y := a + b
+//	    if * {
+//	        y := c
+//	    }
+//	    out(x + y)
+//	`)
+//	opt, stats, err := p.PDE()
+//	fmt.Println(opt)
+//
+// Baselines (classic dead/faint code elimination, SSA-based DCE,
+// def-use marking DCE) and the dual transformation (lazy code motion)
+// are exposed for comparison, and Check replays executions to confirm
+// that a transformation preserved semantics without impairing any
+// execution.
+package pdce
+
+import (
+	"fmt"
+
+	"pdce/internal/baseline"
+	"pdce/internal/cfg"
+	"pdce/internal/copyprop"
+	"pdce/internal/core"
+	"pdce/internal/hoist"
+	"pdce/internal/interp"
+	"pdce/internal/ir"
+	"pdce/internal/lcm"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+	"pdce/internal/ssa"
+	"pdce/internal/verify"
+)
+
+// Program is an immutable-by-convention flow-graph program. All
+// transformations return new Programs; the receiver is never mutated.
+type Program struct {
+	g *cfg.Graph
+}
+
+// ParseCFG parses the low-level flow-graph language (see the
+// repository README for the grammar):
+//
+//	graph "name"
+//	node 1 { y := a+b }
+//	node 2 { out(x+y) }
+//	edge s 1
+//	edge 1 2
+//	edge 2 e
+func ParseCFG(src string) (*Program, error) {
+	g, err := parser.ParseCFG(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{g: g}, nil
+}
+
+// ParseSource parses the structured WHILE-language and lowers it to a
+// flow graph:
+//
+//	x := a + b
+//	while x > 0 { x := x - 1 }
+//	if * { out(x) } else { skip }
+func ParseSource(name, src string) (*Program, error) {
+	g, err := parser.ParseSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{g: g}, nil
+}
+
+// FromGraph wraps an existing graph. Internal use by cmd binaries.
+func FromGraph(g *cfg.Graph) *Program { return &Program{g: g} }
+
+// Graph exposes the underlying graph for packages inside this module.
+func (p *Program) Graph() *cfg.Graph { return p.g }
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.g.Name }
+
+// String renders a compact human-readable listing.
+func (p *Program) String() string { return p.g.String() }
+
+// Format renders the program in the parseable low-level CFG language.
+func (p *Program) Format() string { return p.g.Format() }
+
+// DOT renders the program in Graphviz syntax.
+func (p *Program) DOT() string { return cfg.DOT(p.g) }
+
+// NumStatements returns the instruction count (the paper's i).
+func (p *Program) NumStatements() int { return p.g.NumStmts() }
+
+// NumAssignments returns the number of assignment statements.
+func (p *Program) NumAssignments() int { return p.g.NumAssignments() }
+
+// NumBlocks returns the number of basic blocks including start/end.
+func (p *Program) NumBlocks() int { return p.g.NumNodes() }
+
+// Equal reports whether two programs are structurally identical.
+func (p *Program) Equal(q *Program) bool { return cfg.Equal(p.g, q.g) }
+
+// Mode selects the elimination power of Optimize.
+type Mode = core.Mode
+
+// Optimization modes.
+const (
+	// Dead uses the bit-vector dead-variable analysis (the paper's
+	// pde).
+	Dead = core.ModeDead
+	// Faint uses the slotwise faint-variable analysis (the paper's
+	// pfe) — strictly more powerful, somewhat more expensive.
+	Faint = core.ModeFaint
+)
+
+// Options configures Optimize.
+type Options struct {
+	// Mode selects pde (Dead) or pfe (Faint).
+	Mode Mode
+	// MaxRounds truncates the fixpoint iteration (0 = run to the
+	// optimum). Truncation trades optimality for compile time; the
+	// result stays correct.
+	MaxRounds int
+	// KeepSynthetic retains empty synthetic nodes inserted by
+	// critical-edge splitting.
+	KeepSynthetic bool
+	// Hot, when non-nil, localizes the optimization to the blocks
+	// whose labels it accepts — the paper's Section 7 "hot areas"
+	// heuristic. Cold blocks are left untouched except for code
+	// arriving at their entry boundary.
+	Hot func(blockLabel string) bool
+	// Observe, when non-nil, receives a notification after every
+	// eliminate/sink phase with a rendered snapshot of the
+	// intermediate program — a window onto the second-order effects.
+	Observe func(round int, phase string, changed bool, snapshot string)
+}
+
+// Stats reports what an optimization run did.
+type Stats struct {
+	// Rounds is the number of eliminate+sink rounds (the paper's r).
+	Rounds int
+	// Eliminated counts assignments removed by elimination steps;
+	// SinkRemoved/Inserted count the sinking transformation's
+	// removals and materializations.
+	Eliminated, SinkRemoved, Inserted int
+	// CriticalEdges is the number of edges split up front.
+	CriticalEdges int
+	// OriginalStmts/FinalStmts/PeakStmts track code size; the
+	// paper's growth factor w is PeakStmts/OriginalStmts.
+	OriginalStmts, FinalStmts, PeakStmts int
+}
+
+// GrowthFactor returns the paper's w.
+func (s Stats) GrowthFactor() float64 {
+	if s.OriginalStmts == 0 {
+		return 1
+	}
+	return float64(s.PeakStmts) / float64(s.OriginalStmts)
+}
+
+func fromCoreStats(st core.Stats) Stats {
+	return Stats{
+		Rounds:        st.Rounds,
+		Eliminated:    st.Eliminated,
+		SinkRemoved:   st.SinkRemoved,
+		Inserted:      st.Inserted,
+		CriticalEdges: st.CriticalEdges,
+		OriginalStmts: st.OriginalStmts,
+		FinalStmts:    st.FinalStmts,
+		PeakStmts:     st.PeakStmts,
+	}
+}
+
+// Optimize runs partial dead (faint) code elimination and returns the
+// optimized program.
+func (p *Program) Optimize(o Options) (*Program, Stats, error) {
+	copt := core.Options{
+		Mode:          o.Mode,
+		MaxRounds:     o.MaxRounds,
+		KeepSynthetic: o.KeepSynthetic,
+	}
+	if o.Hot != nil {
+		hot := o.Hot
+		copt.Hot = func(n *cfg.Node) bool { return hot(n.Label) }
+	}
+	if o.Observe != nil {
+		obs := o.Observe
+		copt.Observe = func(ev core.PhaseEvent) {
+			obs(ev.Round, ev.Phase, ev.Changed, ev.Graph.String())
+		}
+	}
+	g, st, err := core.Transform(p.g, copt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return &Program{g: g}, fromCoreStats(st), nil
+}
+
+// PDE runs partial dead code elimination to its optimum.
+func (p *Program) PDE() (*Program, Stats, error) { return p.Optimize(Options{Mode: Dead}) }
+
+// PFE runs partial faint code elimination to its optimum.
+func (p *Program) PFE() (*Program, Stats, error) { return p.Optimize(Options{Mode: Faint}) }
+
+// --- baselines -------------------------------------------------------
+
+// DeadCodeElimination applies classic iterated dead code elimination
+// (no code motion) — the "usual approach" the paper improves on.
+func (p *Program) DeadCodeElimination() (*Program, int) {
+	r := baseline.IteratedDCE(p.g)
+	return &Program{g: r.Graph}, r.Removed
+}
+
+// FaintCodeElimination applies iterated faint code elimination (no
+// code motion).
+func (p *Program) FaintCodeElimination() (*Program, int) {
+	r := baseline.IteratedFCE(p.g)
+	return &Program{g: r.Graph}, r.Removed
+}
+
+// SSADeadCodeElimination applies the sparse def-use (SSA mark-sweep)
+// elimination of Cytron et al. — the paper's reference [5] baseline.
+func (p *Program) SSADeadCodeElimination() (*Program, int) {
+	g, removed := ssa.Eliminate(p.g)
+	return &Program{g: g}, removed
+}
+
+// DefUseDCE applies the classic def-use-graph marking elimination.
+func (p *Program) DefUseDCE() (*Program, int) {
+	r := baseline.DefUseDCE(p.g)
+	return &Program{g: r.Graph}, r.Removed
+}
+
+// HoistAssignments applies assignment hoisting — the Related-Work
+// baseline [9] that moves assignments against the control flow. It is
+// semantics preserving and exactly cost-neutral (every path executes
+// the same assignment instances, earlier); in particular it cannot
+// eliminate partially dead code, which is the paper's argument for
+// sinking instead.
+func (p *Program) HoistAssignments() (*Program, error) {
+	g, _, err := hoist.Optimize(p.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{g: g}, nil
+}
+
+// CopyPropagation applies global copy propagation: uses of x after a
+// copy x := y that provably still holds are rewritten to y. The
+// then-dead copies are left for the elimination passes. Returns the
+// transformed program and the number of rewritten statements.
+func (p *Program) CopyPropagation() (*Program, int) {
+	g, st := copyprop.Optimize(p.g)
+	return &Program{g: g}, st.Rewritten
+}
+
+// LazyCodeMotion applies partial redundancy elimination (the dual
+// transformation) and returns the transformed program together with
+// the number of inserted temporaries and replaced computations.
+func (p *Program) LazyCodeMotion() (*Program, int, int, error) {
+	r, err := lcm.Optimize(p.g)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &Program{g: r.Graph}, r.Inserted, r.Deleted + r.Rewritten, nil
+}
+
+// --- execution and verification --------------------------------------
+
+// Trace is the observable record of one interpreted execution.
+type Trace struct {
+	// Outputs is the sequence of out(...) values.
+	Outputs []int64
+	// Terminated is true when the end node was reached, false when
+	// the fuel bound was hit or a run-time error occurred.
+	Terminated bool
+	// Faulted is true when evaluation raised a run-time error
+	// (division or modulus by zero); Err carries it.
+	Faulted bool
+	Err     error
+	// AssignExecs is the number of executed assignment instances —
+	// the dynamic cost partial dead code elimination minimizes.
+	AssignExecs int
+	// TermEvals is the number of non-trivial expression
+	// evaluations — the dynamic cost lazy code motion minimizes.
+	TermEvals int
+	// Decisions records the branch choices taken, replayable via
+	// RunDecisions.
+	Decisions []int
+	// VisitsPerBlock is the execution profile: how often each block
+	// ran. Feed the hot set it induces into Options.Hot for
+	// profile-guided regional optimization (the paper's Section 7).
+	VisitsPerBlock map[string]int
+}
+
+func fromTrace(t *interp.Trace) Trace {
+	return Trace{
+		Outputs:        t.Outputs,
+		Terminated:     t.Outcome == interp.Terminated,
+		Faulted:        t.Outcome == interp.Faulted,
+		Err:            t.Err,
+		AssignExecs:    t.AssignExecs,
+		TermEvals:      t.TermEvals,
+		Decisions:      t.Decisions,
+		VisitsPerBlock: t.VisitsPerBlock,
+	}
+}
+
+// Run executes the program, resolving nondeterministic branches from
+// the seed. Fuel bounds the execution in block visits (0 = default).
+func (p *Program) Run(seed uint64, fuel int) Trace {
+	return fromTrace(interp.Run(p.g, interp.NewSeededOracle(seed), interp.Config{MaxBlockVisits: fuel}))
+}
+
+// RunWithInput is Run with an initial variable store.
+func (p *Program) RunWithInput(seed uint64, fuel int, input map[string]int64) Trace {
+	in := make(map[ir.Var]int64, len(input))
+	for k, v := range input {
+		in[ir.Var(k)] = v
+	}
+	return fromTrace(interp.Run(p.g, interp.NewSeededOracle(seed), interp.Config{MaxBlockVisits: fuel, Input: in}))
+}
+
+// RunDecisions replays a recorded branch-decision sequence.
+func (p *Program) RunDecisions(decisions []int, fuel int) Trace {
+	return fromTrace(interp.Replay(p.g, decisions, interp.Config{MaxBlockVisits: fuel}))
+}
+
+// Check verifies that opt is a faithful optimization of p: over the
+// given number of sampled executions, outputs agree (modulo
+// fault-potential reduction) and no execution runs more assignment
+// instances of any pattern. A nil error means the pair passed.
+func (p *Program) Check(opt *Program, executions int) error {
+	rep := verify.CheckTransformed(p.g, opt.g, verify.Options{Seeds: executions})
+	if !rep.OK() {
+		return fmt.Errorf("%s", rep.String())
+	}
+	return nil
+}
+
+// CheckOutputs verifies observable behaviour only (output traces,
+// modulo fault reduction), without the non-impairment comparison. Use
+// it for transformations that legitimately introduce assignments, such
+// as LazyCodeMotion's temporaries.
+func (p *Program) CheckOutputs(opt *Program, executions int) error {
+	rep := verify.CheckTransformed(p.g, opt.g, verify.Options{Seeds: executions, OutputsOnly: true})
+	if !rep.OK() {
+		return fmt.Errorf("%s", rep.String())
+	}
+	return nil
+}
+
+// Savings samples executions of both programs and returns the fraction
+// of dynamic assignment executions the optimization removed.
+func (p *Program) Savings(opt *Program, executions int) float64 {
+	return verify.MeasureImprovement(p.g, opt.g, executions, 0).Savings()
+}
+
+// --- workload generation ----------------------------------------------
+
+// GenParams configures random program generation (see
+// internal/progen for the full knob set semantics).
+type GenParams struct {
+	Seed        int64
+	Stmts       int
+	Vars        int
+	Irreducible bool
+}
+
+// Generate produces a deterministic random program, useful for
+// experimentation and benchmarking.
+func Generate(p GenParams) *Program {
+	return &Program{g: progen.Generate(progen.Params{
+		Seed:        p.Seed,
+		Stmts:       p.Stmts,
+		Vars:        p.Vars,
+		Irreducible: p.Irreducible,
+	})}
+}
+
+// --- pass pipeline -----------------------------------------------------
+
+// Passes runs a named sequence of transformations, threading the
+// program through each. Recognized pass names: "pde", "pfe", "dce",
+// "fce", "ssadce", "dudce", "lcm", "copyprop", "hoist". Unknown names
+// return an error. Example: Passes("lcm", "copyprop", "pde") composes
+// partial redundancy elimination with copy propagation and partial
+// dead code elimination into a small optimizer.
+func (p *Program) Passes(names ...string) (*Program, error) {
+	cur := p
+	for _, name := range names {
+		var next *Program
+		var err error
+		switch name {
+		case "pde":
+			next, _, err = cur.PDE()
+		case "pfe":
+			next, _, err = cur.PFE()
+		case "dce":
+			next, _ = cur.DeadCodeElimination()
+		case "fce":
+			next, _ = cur.FaintCodeElimination()
+		case "ssadce":
+			next, _ = cur.SSADeadCodeElimination()
+		case "dudce":
+			next, _ = cur.DefUseDCE()
+		case "lcm":
+			next, _, _, err = cur.LazyCodeMotion()
+		case "copyprop":
+			next, _ = cur.CopyPropagation()
+		case "hoist":
+			next, err = cur.HoistAssignments()
+		default:
+			return nil, fmt.Errorf("pdce: unknown pass %q", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pdce: pass %q: %w", name, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,364 @@
+package pdce_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdce"
+)
+
+const motivating = `
+y := a + b
+if * {
+    y := c
+}
+out(x + y)
+`
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := pdce.ParseSource("demo", motivating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, stats, err := prog.PDE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Eliminated == 0 && stats.SinkRemoved == 0 {
+		t.Error("pde did nothing on the motivating example")
+	}
+	if err := prog.Check(opt, 64); err != nil {
+		t.Fatal(err)
+	}
+	if s := prog.Savings(opt, 64); s <= 0 {
+		t.Errorf("savings = %f, want positive", s)
+	}
+	// The input program is untouched (3 statements: the two
+	// assignments and the out; the nondeterministic if has no
+	// branch statement).
+	if prog.NumStatements() != 3 {
+		t.Errorf("input mutated: %d statements", prog.NumStatements())
+	}
+}
+
+func TestParseCFGAndFormatRoundTrip(t *testing.T) {
+	p, err := pdce.ParseCFG(`
+graph "rt"
+node 1 { x := a+b; out(x) }
+edge s 1
+edge 1 e
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pdce.ParseCFG(p.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Error("Format/ParseCFG round trip failed")
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	if _, err := pdce.ParseSource("p", "x := "); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := pdce.ParseCFG("node 1 {"); err == nil {
+		t.Error("bad cfg accepted")
+	}
+}
+
+func TestOptimizeModes(t *testing.T) {
+	prog, err := pdce.ParseSource("faint", `
+tick := 0
+i := 3
+do {
+    tick := tick + 1
+    i := i - 1
+} while i > 0
+out(i)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadOpt, _, err := prog.Optimize(pdce.Options{Mode: pdce.Dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faintOpt, _, err := prog.Optimize(pdce.Options{Mode: pdce.Faint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tick is faint (feeds only itself): pfe removes it, pde keeps it.
+	if faintOpt.NumAssignments() >= deadOpt.NumAssignments() {
+		t.Errorf("pfe left %d assignments, pde %d — expected pfe strictly smaller",
+			faintOpt.NumAssignments(), deadOpt.NumAssignments())
+	}
+}
+
+func TestMaxRoundsOption(t *testing.T) {
+	prog := pdce.Generate(pdce.GenParams{Seed: 11, Stmts: 80})
+	opt, stats, err := prog.Optimize(pdce.Options{Mode: pdce.Dead, MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 1 {
+		t.Errorf("rounds = %d with MaxRounds 1", stats.Rounds)
+	}
+	if err := prog.Check(opt, 32); err != nil {
+		t.Fatal("truncated run broke semantics: ", err)
+	}
+}
+
+func TestKeepSyntheticOption(t *testing.T) {
+	// A critical edge with nothing to optimize: the synthetic node
+	// stays empty, so by default it vanishes again while
+	// KeepSynthetic retains it.
+	src := `
+node 0 {}
+node 1 {}
+node j { out(1) }
+node 4 {}
+edge s 0
+edge 0 1
+edge 0 j
+edge 1 j
+edge 1 4
+edge j 4
+edge 4 e
+`
+	prog, err := pdce.ParseCFG(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _, err := prog.PDE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _, err := prog.Optimize(pdce.Options{Mode: pdce.Dead, KeepSynthetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.NumBlocks() <= def.NumBlocks() {
+		t.Errorf("KeepSynthetic blocks %d, default %d", kept.NumBlocks(), def.NumBlocks())
+	}
+}
+
+func TestBaselineAccessors(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `
+a := 1
+b := a + 1
+c := b + 1
+out(5)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nDCE := prog.DeadCodeElimination()
+	_, nFCE := prog.FaintCodeElimination()
+	_, nSSA := prog.SSADeadCodeElimination()
+	_, nDU := prog.DefUseDCE()
+	if nDCE != 3 || nFCE != 3 || nSSA != 3 || nDU != 3 {
+		t.Errorf("eliminators removed %d/%d/%d/%d, want 3 each", nDCE, nFCE, nSSA, nDU)
+	}
+}
+
+func TestLazyCodeMotionAccessor(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `
+i := 2
+do {
+    x := a * b
+    i := i - 1
+} while i > 0
+out(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, inserted, replaced, err := prog.LazyCodeMotion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted == 0 || replaced == 0 {
+		t.Errorf("lcm inserted=%d replaced=%d on a loop-invariant workload", inserted, replaced)
+	}
+	if err := prog.CheckOutputs(opt, 48); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAndReplay(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `
+if * { out(1) } else { out(2) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := prog.Run(3, 0)
+	if !tr.Terminated || len(tr.Outputs) != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	replayed := prog.RunDecisions(tr.Decisions, 0)
+	if replayed.Outputs[0] != tr.Outputs[0] {
+		t.Error("replay diverged")
+	}
+}
+
+func TestRunWithInput(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `out(n * n)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := prog.RunWithInput(0, 0, map[string]int64{"n": 9})
+	if tr.Outputs[0] != 81 {
+		t.Errorf("outputs = %v", tr.Outputs)
+	}
+	if tr.TermEvals != 1 {
+		t.Errorf("TermEvals = %d", tr.TermEvals)
+	}
+}
+
+func TestFaultTrace(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `
+z := 0
+out(1 / z)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := prog.Run(0, 0)
+	if !tr.Faulted || tr.Err == nil {
+		t.Errorf("trace = %+v, want fault", tr)
+	}
+}
+
+func TestCheckRejectsBogusTransformation(t *testing.T) {
+	a, _ := pdce.ParseSource("p", `out(1)`)
+	b, _ := pdce.ParseSource("p", `out(2)`)
+	if err := a.Check(b, 8); err == nil {
+		t.Error("bogus transformation accepted")
+	}
+}
+
+func TestGenerateAccessor(t *testing.T) {
+	p := pdce.Generate(pdce.GenParams{Seed: 4, Stmts: 40, Irreducible: true})
+	if p.NumStatements() == 0 {
+		t.Error("generator produced empty program")
+	}
+	q := pdce.Generate(pdce.GenParams{Seed: 4, Stmts: 40, Irreducible: true})
+	if !p.Equal(q) {
+		t.Error("generator not deterministic through the facade")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `out(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.DOT(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(prog.String(), "out(x)") {
+		t.Error("String output malformed")
+	}
+	if !strings.Contains(prog.Format(), "edge") {
+		t.Error("Format output malformed")
+	}
+	if prog.Name() != "p" {
+		t.Errorf("Name = %q", prog.Name())
+	}
+	if prog.NumBlocks() < 3 {
+		t.Errorf("NumBlocks = %d", prog.NumBlocks())
+	}
+}
+
+func TestStatsGrowthFactor(t *testing.T) {
+	var s pdce.Stats
+	if s.GrowthFactor() != 1 {
+		t.Error("zero stats growth != 1")
+	}
+	s.OriginalStmts, s.PeakStmts = 10, 15
+	if s.GrowthFactor() != 1.5 {
+		t.Errorf("GrowthFactor = %f", s.GrowthFactor())
+	}
+}
+
+func TestPassesPipeline(t *testing.T) {
+	prog, err := pdce.ParseSource("p", `
+i := n
+r := 0
+do {
+    step := a * b
+    diag := r * 3
+    r := r + step
+    i := i - 1
+} while i > 0
+if * { out(diag) } else { out(r) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := prog.Passes("lcm", "copyprop", "pde")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.CheckOutputs(opt, 64); err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline must beat each input on term evaluations for a
+	// concrete heavy run.
+	in := map[string]int64{"n": 200, "a": 3, "b": 4}
+	before := prog.RunWithInput(1, 4096, in)
+	after := opt.RunWithInput(1, 4096, in)
+	if after.TermEvals >= before.TermEvals {
+		t.Errorf("pipeline did not reduce term evals: %d -> %d", before.TermEvals, after.TermEvals)
+	}
+	if _, err := prog.Passes("pde", "explode"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestHotOption(t *testing.T) {
+	prog, err := pdce.ParseCFG(`
+node 1 { y := a+b }
+node 2 {}
+node 3 { y := c }
+node 4 {}
+node 5 { out(x+y) }
+edge s 1
+edge 1 2
+edge 2 3
+edge 2 4
+edge 3 5
+edge 4 5
+edge 5 e
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only node 5 hot: the partially dead assignment in node 1 is
+	// out of reach, nothing changes.
+	frozen, st, err := prog.Optimize(pdce.Options{
+		Mode: pdce.Dead,
+		Hot:  func(label string) bool { return label == "5" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Eliminated != 0 || !prog.Equal(frozen) {
+		t.Errorf("cold program was transformed: %+v\n%s", st, frozen)
+	}
+	// Whole program hot: full figure-1 optimization.
+	full, st2, err := prog.Optimize(pdce.Options{
+		Mode: pdce.Dead,
+		Hot:  func(string) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Eliminated != 1 {
+		t.Errorf("all-hot run eliminated %d, want 1:\n%s", st2.Eliminated, full)
+	}
+}
