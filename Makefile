@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over the scaling benchmark: catches bit-rot in the benchmark
+# harness and prints current numbers without a full measurement run.
+bench:
+	$(GO) test -run '^$$' -bench PDEScaling -benchmem -benchtime 1x .
+
+# Full local CI: static checks, build, the whole suite under the race
+# detector (includes the incremental-vs-reference equivalence property
+# tests, the batch pipeline tests, and the allocation budget guard),
+# and a benchmark smoke pass.
+ci: vet build race bench

@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	pdce [flags] [file]
+//	pdce [flags] [file ...]
 //
 // With no file, the program is read from standard input. The input
 // language is auto-detected ("graph"/"node"/"edge" keywords select the
 // CFG format) and can be forced with -lang.
+//
+// With several files — or a directory, which stands for every regular
+// file directly inside it — the optimizer runs in batch mode: all
+// programs are optimized concurrently through a bounded worker pool
+// (-workers, default GOMAXPROCS) and printed in input order under
+// per-program headers. Batch mode supports -mode pde/pfe; if any
+// program fails to parse or optimize, the remaining programs still run
+// and the exit status is non-zero.
 //
 // Examples:
 //
@@ -16,6 +24,7 @@
 //	pdce -mode pfe -verify program.while
 //	pdce -mode lcm -format dot program.cfg | dot -Tpng > out.png
 //	pdce -mode none -format cfg program.while   # just lower & print
+//	pdce -stats -workers 4 testdata/            # batch over a directory
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"pdce"
@@ -43,6 +54,7 @@ var (
 	execSeed  = flag.Int64("exec", -1, "instead of printing, run the transformed program with this oracle seed and print its outputs")
 	inputs    = flag.String("input", "", "comma-separated initial store for -exec, e.g. n=100,base=7")
 	fuel      = flag.Int("fuel", 0, "block-visit bound for -exec (0 = default)")
+	workers   = flag.Int("workers", 0, "concurrent optimizations in batch (multi-file) mode, 0 = GOMAXPROCS")
 )
 
 func main() {
@@ -54,7 +66,15 @@ func main() {
 }
 
 func run() error {
-	src, progName, err := readInput()
+	paths, err := expandArgs(flag.Args())
+	if err != nil {
+		return err
+	}
+	if len(paths) > 1 {
+		return runBatch(paths)
+	}
+
+	src, progName, err := readInput(paths)
 	if err != nil {
 		return err
 	}
@@ -144,31 +164,148 @@ func execute(prog *pdce.Program) error {
 	return nil
 }
 
-func readInput() (src, progName string, err error) {
-	switch flag.NArg() {
-	case 0:
+// expandArgs resolves the positional arguments to a flat file list: a
+// directory argument stands for every regular file directly inside it,
+// in name order.
+func expandArgs(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		var inDir []string
+		for _, e := range entries {
+			if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			inDir = append(inDir, filepath.Join(arg, e.Name()))
+		}
+		if len(inDir) == 0 {
+			return nil, fmt.Errorf("directory %s contains no input files", arg)
+		}
+		sort.Strings(inDir)
+		paths = append(paths, inDir...)
+	}
+	return paths, nil
+}
+
+// runBatch optimizes several programs concurrently and prints each in
+// input order. Every program is attempted even after failures; the
+// combined error makes the process exit non-zero if any failed.
+func runBatch(paths []string) error {
+	if *mode != "pde" && *mode != "pfe" {
+		return fmt.Errorf("batch mode supports -mode pde or pfe, not %q", *mode)
+	}
+	if *passes != "" || *execSeed >= 0 || *verifyRun > 0 || *trace {
+		return fmt.Errorf("batch mode does not support -passes, -exec, -verify, or -trace")
+	}
+
+	m := pdce.Dead
+	if *mode == "pfe" {
+		m = pdce.Faint
+	}
+	o := pdce.Options{Mode: m, MaxRounds: *maxRounds, KeepSynthetic: *keepSynth}
+	if *hot != "" {
+		set := map[string]bool{}
+		for _, l := range strings.Split(*hot, ",") {
+			set[strings.TrimSpace(l)] = true
+		}
+		o.Hot = func(label string) bool { return set[label] }
+	}
+
+	// Parse everything first; a parse failure must not stop the
+	// other programs from being optimized.
+	progs := make([]*pdce.Program, 0, len(paths))
+	parseErrs := make(map[string]error)
+	order := make([]string, 0, len(paths))
+	for _, path := range paths {
+		order = append(order, path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			parseErrs[path] = err
+			continue
+		}
+		prog, err := parse(string(data), progBase(path))
+		if err != nil {
+			parseErrs[path] = err
+			continue
+		}
+		progs = append(progs, prog)
+	}
+
+	results := pdce.OptimizeAll(progs, o, *workers)
+
+	failed := 0
+	ri := 0
+	for _, path := range order {
+		fmt.Printf("==> %s\n", path)
+		if err, bad := parseErrs[path]; bad {
+			failed++
+			fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", path, err)
+			continue
+		}
+		prog := progs[ri]
+		r := results[ri]
+		ri++
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", path, r.Err)
+			continue
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%s: blocks: %d -> %d   statements: %d -> %d   rounds: %d   eliminated: %d   inserted: %d\n",
+				path, prog.NumBlocks(), r.Program.NumBlocks(),
+				prog.NumStatements(), r.Program.NumStatements(),
+				r.Stats.Rounds, r.Stats.Eliminated, r.Stats.Inserted)
+		}
+		switch *format {
+		case "listing":
+			fmt.Print(r.Program.String())
+		case "cfg":
+			fmt.Print(r.Program.Format())
+		case "dot":
+			fmt.Print(r.Program.DOT())
+		default:
+			return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d programs failed", failed, len(order))
+	}
+	return nil
+}
+
+// progBase derives a program name from a file path.
+func progBase(path string) string {
+	base := filepath.Base(path)
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+func readInput(paths []string) (src, progName string, err error) {
+	if len(paths) == 0 {
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			return "", "", err
 		}
 		return string(data), "stdin", nil
-	case 1:
-		path := flag.Arg(0)
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return "", "", err
-		}
-		base := path
-		if i := strings.LastIndexByte(base, '/'); i >= 0 {
-			base = base[i+1:]
-		}
-		if i := strings.LastIndexByte(base, '.'); i > 0 {
-			base = base[:i]
-		}
-		return string(data), base, nil
-	default:
-		return "", "", fmt.Errorf("expected at most one input file, got %d", flag.NArg())
 	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), progBase(paths[0]), nil
 }
 
 func parse(src, progName string) (*pdce.Program, error) {

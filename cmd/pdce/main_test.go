@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -112,5 +115,97 @@ func TestParseLangSelection(t *testing.T) {
 	*lang = "klingon"
 	if _, err := parse("out(1)", "t"); err == nil || !strings.Contains(err.Error(), "unknown -lang") {
 		t.Errorf("bad lang error = %v", err)
+	}
+}
+
+func TestExpandArgs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	b := write("b.while", "out(1)")
+	a := write("a.while", "out(2)")
+	write(".hidden", "ignored")
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := expandArgs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("expandArgs(dir) = %v, want [%s %s]", got, a, b)
+	}
+
+	got, err = expandArgs([]string{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != b || got[1] != a {
+		t.Errorf("expandArgs(files) = %v (explicit order must be kept)", got)
+	}
+
+	if _, err := expandArgs([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Error("expandArgs accepted a missing path")
+	}
+	if _, err := expandArgs([]string{filepath.Join(dir, "sub")}); err == nil {
+		t.Error("expandArgs accepted an empty directory")
+	}
+}
+
+func TestProgBase(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"prog.while", "prog"},
+		{"dir/sub/loop.cfg", "loop"},
+		{"noext", "noext"},
+		{".hidden", ".hidden"},
+	}
+	for _, c := range cases {
+		if got := progBase(c.in); got != c.want {
+			t.Errorf("progBase(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRunBatchEndToEnd drives the batch path through the real flag
+// surface: two files in a directory, optimized concurrently, output in
+// input order; a parse failure in one file must not stop the other and
+// must surface as a non-nil error.
+func TestRunBatchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	good1 := filepath.Join(dir, "1good.while")
+	good2 := filepath.Join(dir, "2good.while")
+	bad := filepath.Join(dir, "3bad.while")
+	os.WriteFile(good1, []byte("x := a+b\nif * { out(x) }\n"), 0o644)
+	os.WriteFile(good2, []byte("y := 1\nout(2)\n"), 0o644)
+
+	oldStdout := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	err := runBatch([]string{good1, good2})
+	w.Close()
+	os.Stdout = oldStdout
+	var buf strings.Builder
+	io.Copy(&buf, r)
+	out := buf.String()
+	if err != nil {
+		t.Fatalf("batch over good files: %v", err)
+	}
+	i1, i2 := strings.Index(out, "==> "+good1), strings.Index(out, "==> "+good2)
+	if i1 < 0 || i2 < 0 || i2 < i1 {
+		t.Errorf("batch output misses per-file headers or order: %q", out)
+	}
+
+	os.WriteFile(bad, []byte("out(\n"), 0o644)
+	os.Stdout, _ = os.Open(os.DevNull)
+	err = runBatch([]string{good1, bad})
+	os.Stdout = oldStdout
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 programs failed") {
+		t.Errorf("batch with a bad file returned %v", err)
 	}
 }

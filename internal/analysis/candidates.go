@@ -37,46 +37,11 @@ type Locals struct {
 }
 
 // ComputeLocals computes the local predicates of every block of g over
-// the pattern universe pt.
+// the pattern universe pt. It builds a PatternIndex internally; callers
+// that recompute locals repeatedly over the same universe should build
+// the index once and use its Locals/UpdateBlock methods.
 func ComputeLocals(g *cfg.Graph, pt *ir.PatternTable) *Locals {
-	numNodes := g.NumNodes()
-	np := pt.Len()
-	l := &Locals{
-		Patterns:     pt,
-		LocDelayed:   make([]*bitvec.Vector, numNodes),
-		LocBlocked:   make([]*bitvec.Vector, numNodes),
-		CandidateIdx: make([][]int, numNodes),
-	}
-	for _, n := range g.Nodes() {
-		ld := bitvec.New(np)
-		lb := bitvec.New(np)
-		cand := make([]int, np)
-		for i := range cand {
-			cand[i] = -1
-		}
-		// One backward sweep per block: a pattern occurrence is a
-		// candidate iff no later instruction of the block blocks
-		// it; blockedBelow tracks "blocked by something at or
-		// after the current position".
-		blockedBelow := bitvec.New(np)
-		for si := len(n.Stmts) - 1; si >= 0; si-- {
-			s := n.Stmts[si]
-			if pi, ok := pt.IndexOfStmt(s); ok && !blockedBelow.Get(pi) {
-				ld.Set(pi)
-				cand[pi] = si
-			}
-			for pi := 0; pi < np; pi++ {
-				if pt.BlocksIdx(s, pi) {
-					blockedBelow.Set(pi)
-					lb.Set(pi)
-				}
-			}
-		}
-		l.LocDelayed[n.ID] = ld
-		l.LocBlocked[n.ID] = lb
-		l.CandidateIdx[n.ID] = cand
-	}
-	return l
+	return NewPatternIndex(pt).Locals(g)
 }
 
 // SinkingCandidates returns, for presentation and tests, the candidate

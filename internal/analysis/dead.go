@@ -25,6 +25,10 @@ type DeadResult struct {
 	NDead, XDead []*bitvec.Vector
 
 	Stats dataflow.SolverStats
+
+	// scratch backs DeadAssignIndices' backward sweep, allocated on
+	// first use and reused across calls.
+	scratch *bitvec.Vector
 }
 
 type deadProblem struct {
@@ -70,6 +74,39 @@ func DeadVarsWith(g *cfg.Graph, vars *ir.VarTable) *DeadResult {
 	return &DeadResult{Vars: vars, NDead: sol.In, XDead: sol.Out, Stats: sol.Stats}
 }
 
+// DeadSolver solves the dead-variable analysis repeatedly on one graph
+// whose block contents mutate between solves — the fixpoint driver's
+// round structure. The variable universe is fixed at creation; it must
+// cover every variable of every version of the program the solver sees
+// (a superset is fine: a variable that no longer occurs is simply dead
+// everywhere and influences no other bit).
+type DeadSolver struct {
+	solver *dataflow.Solver
+	res    DeadResult
+}
+
+// NewDeadSolver creates a solver for g over the given universe.
+func NewDeadSolver(g *cfg.Graph, vars *ir.VarTable) *DeadSolver {
+	s := &DeadSolver{
+		solver: dataflow.NewSolver(g, &deadProblem{vars: vars, bits: vars.Len()}),
+	}
+	sol := s.solver.Result()
+	s.res = DeadResult{Vars: vars, NDead: sol.In, XDead: sol.Out}
+	return s
+}
+
+// Solve re-solves after the given blocks changed, reusing the previous
+// round's solution outside the affected region (the dirty blocks and
+// their transitive predecessors — deadness flows backward). A nil
+// dirty set on a solved instance returns the cached solution; the
+// first call always solves in full. The returned result aliases the
+// solver's storage and is invalidated by the next Solve.
+func (s *DeadSolver) Solve(dirty []cfg.NodeID) *DeadResult {
+	sol := s.solver.Resolve(dirty)
+	s.res.Stats = sol.Stats
+	return &s.res
+}
+
 // InstrXDead returns X-DEAD immediately after every statement of block
 // n (index i corresponds to n.Stmts[i]); the elimination step removes
 // assignment i when the returned vector i has the bit of its LHS set.
@@ -81,6 +118,33 @@ func (r *DeadResult) InstrXDead(n *cfg.Node) []*bitvec.Vector {
 		deadStep(r.Vars, n.Stmts[si], cur)
 	}
 	return out
+}
+
+// DeadAssignIndices appends to dst the statement indices of every
+// assignment of block n whose left-hand side is dead immediately after
+// it — the elimination set of Section 5.2 — in decreasing index order.
+// Unlike InstrXDead it allocates no per-statement vectors: one
+// persistent scratch vector carries the backward sweep.
+func (r *DeadResult) DeadAssignIndices(n *cfg.Node, dst []int) []int {
+	if len(n.Stmts) == 0 {
+		return dst
+	}
+	if r.scratch == nil {
+		r.scratch = bitvec.New(r.XDead[n.ID].Len())
+	}
+	cur := r.scratch
+	cur.CopyFrom(r.XDead[n.ID])
+	for si := len(n.Stmts) - 1; si >= 0; si-- {
+		s := n.Stmts[si]
+		// cur is X-DEAD immediately after statement si.
+		if a, ok := s.(ir.Assign); ok {
+			if vi, known := r.Vars.Index(a.LHS); known && cur.Get(vi) {
+				dst = append(dst, si)
+			}
+		}
+		deadStep(r.Vars, s, cur)
+	}
+	return dst
 }
 
 // DeadAfter reports whether variable v is dead immediately after

@@ -62,7 +62,7 @@ func Delayability(g *cfg.Graph, pt *ir.PatternTable) *DelayResult {
 }
 
 // DelayabilityWithLocals is Delayability with precomputed local
-// predicates (the PDE driver reuses them for the transformation step).
+// predicates (the regional driver restricts them before solving).
 func DelayabilityWithLocals(g *cfg.Graph, locals *Locals) *DelayResult {
 	bits := locals.Patterns.Len()
 	prob := &delayProblem{locals: locals, bits: bits}
@@ -76,24 +76,108 @@ func DelayabilityWithLocals(g *cfg.Graph, locals *Locals) *DelayResult {
 		XInsert:  make([]*bitvec.Vector, g.NumNodes()),
 		Stats:    sol.Stats,
 	}
+	var arena bitvec.Arena
 	for _, n := range g.Nodes() {
-		ni := r.NDelayed[n.ID].Copy()
-		ni.And(locals.LocBlocked[n.ID])
-		r.NInsert[n.ID] = ni
-
-		// Σ_{m ∈ succ} ¬N-DELAYED_m: some successor is not
-		// delayed. Empty sum (end node) is false.
-		someSuccNotDelayed := bitvec.New(bits)
-		for _, m := range n.Succs() {
-			nd := r.NDelayed[m.ID].Copy()
-			nd.Not()
-			someSuccNotDelayed.Or(nd)
-		}
-		xi := r.XDelayed[n.ID].Copy()
-		xi.And(someSuccNotDelayed)
-		r.XInsert[n.ID] = xi
+		r.NInsert[n.ID] = arena.New(bits)
+		r.XInsert[n.ID] = arena.New(bits)
 	}
+	computeInserts(g, r)
 	return r
+}
+
+// computeInserts derives the insertion predicates from a solved
+// delayability system, writing into the preallocated NInsert/XInsert
+// vectors of r.
+func computeInserts(g *cfg.Graph, r *DelayResult) {
+	for _, n := range g.Nodes() {
+		ni := r.NInsert[n.ID]
+		ni.CopyFrom(r.NDelayed[n.ID])
+		ni.And(r.Locals.LocBlocked[n.ID])
+
+		// X-INSERT = X-DELAYED · Σ_{m ∈ succ} ¬N-DELAYED_m: some
+		// successor is not delayed. Empty sum (end node) is false.
+		xi := r.XInsert[n.ID]
+		xi.ClearAll()
+		for _, m := range n.Succs() {
+			xi.OrNot(r.NDelayed[m.ID])
+		}
+		xi.And(r.XDelayed[n.ID])
+	}
+}
+
+// DelaySolver solves the delayability system repeatedly on one graph
+// whose block contents mutate between solves. It owns the pattern
+// blocking index, the local predicates, and the solution storage; a
+// solve after k blocks changed recomputes k blocks' locals and
+// re-iterates only the affected region (the dirty blocks and their
+// transitive successors — delayability flows forward).
+//
+// The pattern universe is fixed at creation and must cover every
+// pattern of every version of the program the solver sees. A superset
+// is exact: a pattern with no remaining occurrence has LOCDELAYED
+// false everywhere, and since the start node's boundary is the empty
+// set and every node is reachable from it, the greatest solution
+// assigns it X-DELAYED = false everywhere — no spurious insertions.
+type DelaySolver struct {
+	g      *cfg.Graph
+	Index  *PatternIndex
+	locals *Locals
+	solver *dataflow.Solver
+	res    DelayResult
+	solved bool
+
+	scratch *bitvec.Vector // locals sweep scratch
+}
+
+// NewDelaySolver creates a solver for g over pattern universe pt.
+func NewDelaySolver(g *cfg.Graph, pt *ir.PatternTable) *DelaySolver {
+	ix := NewPatternIndex(pt)
+	bits := pt.Len()
+	s := &DelaySolver{
+		g:       g,
+		Index:   ix,
+		locals:  ix.Locals(g),
+		scratch: bitvec.New(bits),
+	}
+	s.solver = dataflow.NewSolver(g, &delayProblem{locals: s.locals, bits: bits})
+	sol := s.solver.Result()
+	s.res = DelayResult{
+		Locals:   s.locals,
+		NDelayed: sol.In,
+		XDelayed: sol.Out,
+		NInsert:  make([]*bitvec.Vector, g.NumNodes()),
+		XInsert:  make([]*bitvec.Vector, g.NumNodes()),
+	}
+	var arena bitvec.Arena
+	for _, n := range g.Nodes() {
+		s.res.NInsert[n.ID] = arena.New(bits)
+		s.res.XInsert[n.ID] = arena.New(bits)
+	}
+	return s
+}
+
+// Locals exposes the solver's local predicates (kept current by Solve).
+func (s *DelaySolver) Locals() *Locals { return s.locals }
+
+// Solve re-solves after the given blocks changed: their local
+// predicates are recomputed, the fixpoint is re-seeded over the
+// affected region, and the insertion predicates are refreshed. A nil
+// dirty set on a solved instance returns the cached solution; the
+// first call always solves in full. The returned result aliases the
+// solver's storage and is invalidated by the next Solve.
+func (s *DelaySolver) Solve(dirty []cfg.NodeID) *DelayResult {
+	if s.solved && len(dirty) == 0 {
+		s.res.Stats = dataflow.SolverStats{}
+		return &s.res
+	}
+	s.solved = true
+	for _, id := range dirty {
+		s.Index.UpdateBlock(s.locals, s.g.Node(id), s.scratch)
+	}
+	sol := s.solver.Resolve(dirty)
+	s.res.Stats = sol.Stats
+	computeInserts(s.g, &s.res)
+	return &s.res
 }
 
 // Stable reports whether the assignment sinking transformation induced

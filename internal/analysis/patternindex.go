@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/ir"
+)
+
+// PatternIndex inverts a pattern table's blocking relation: instead of
+// asking "does statement s block pattern α?" once per (statement,
+// pattern) pair — the O(i·p) inner loop that dominated ComputeLocals —
+// it precomputes, per variable, the bit-vector of patterns blocked by
+// defining or by using that variable. A statement's full blocked set is
+// then a handful of word-parallel ORs.
+//
+// The inversion follows Definition 3.1's discussion: s blocks α ≡ x:=t
+// iff s modifies an operand of t, modifies x, or uses x. So
+//
+//	defBlocks[v] = { α : v ∈ Vars(t) ∨ v = x }   (s defines v)
+//	useBlocks[v] = { α : v = x }                  (s uses v)
+//
+// The index is built once per pattern universe and shared by every
+// locals computation over it.
+type PatternIndex struct {
+	Patterns *ir.PatternTable
+
+	defBlocks map[ir.Var]*bitvec.Vector
+	useBlocks map[ir.Var]*bitvec.Vector
+}
+
+// NewPatternIndex builds the blocking index of pt.
+func NewPatternIndex(pt *ir.PatternTable) *PatternIndex {
+	ix := &PatternIndex{
+		Patterns:  pt,
+		defBlocks: make(map[ir.Var]*bitvec.Vector),
+		useBlocks: make(map[ir.Var]*bitvec.Vector),
+	}
+	np := pt.Len()
+	get := func(m map[ir.Var]*bitvec.Vector, v ir.Var) *bitvec.Vector {
+		bv := m[v]
+		if bv == nil {
+			bv = bitvec.New(np)
+			m[v] = bv
+		}
+		return bv
+	}
+	for pi := 0; pi < np; pi++ {
+		p := pt.Pattern(pi)
+		get(ix.defBlocks, p.LHS).Set(pi)
+		get(ix.useBlocks, p.LHS).Set(pi)
+		for v := range pt.RHSVarsAt(pi) {
+			get(ix.defBlocks, v).Set(pi)
+		}
+	}
+	return ix
+}
+
+// OrStmtBlocks ORs into dst the set of patterns whose sinking
+// statement s blocks. dst must have Patterns.Len() bits.
+func (ix *PatternIndex) OrStmtBlocks(s ir.Stmt, dst *bitvec.Vector) {
+	if d, ok := ir.Def(s); ok {
+		if bv := ix.defBlocks[d]; bv != nil {
+			dst.Or(bv)
+		}
+	}
+	ir.Uses(s, func(u ir.Var) {
+		if bv := ix.useBlocks[u]; bv != nil {
+			dst.Or(bv)
+		}
+	})
+}
+
+// UpdateBlock recomputes the local predicates of block n in place
+// (LocDelayed, LocBlocked, CandidateIdx), with scratch as the
+// blocked-below sweep vector (Patterns.Len() bits; clobbered). The
+// slices of l must already be sized for n.ID.
+func (ix *PatternIndex) UpdateBlock(l *Locals, n *cfg.Node, scratch *bitvec.Vector) {
+	ld := l.LocDelayed[n.ID]
+	ld.ClearAll()
+	cand := l.CandidateIdx[n.ID]
+	for i := range cand {
+		cand[i] = -1
+	}
+	// One backward sweep per block: a pattern occurrence is a
+	// candidate iff no later instruction of the block blocks it;
+	// scratch tracks "blocked by something at or after the current
+	// position". After the sweep scratch is exactly LOCBLOCKED.
+	scratch.ClearAll()
+	for si := len(n.Stmts) - 1; si >= 0; si-- {
+		s := n.Stmts[si]
+		if pi, ok := ix.Patterns.IndexOfStmt(s); ok && !scratch.Get(pi) {
+			ld.Set(pi)
+			cand[pi] = si
+		}
+		ix.OrStmtBlocks(s, scratch)
+	}
+	l.LocBlocked[n.ID].CopyFrom(scratch)
+}
+
+// Locals computes the local predicates of every block of g over the
+// index's pattern universe.
+func (ix *PatternIndex) Locals(g *cfg.Graph) *Locals {
+	numNodes := g.NumNodes()
+	np := ix.Patterns.Len()
+	l := &Locals{
+		Patterns:     ix.Patterns,
+		LocDelayed:   make([]*bitvec.Vector, numNodes),
+		LocBlocked:   make([]*bitvec.Vector, numNodes),
+		CandidateIdx: make([][]int, numNodes),
+	}
+	var arena bitvec.Arena
+	candStore := make([]int, numNodes*np)
+	for _, n := range g.Nodes() {
+		l.LocDelayed[n.ID] = arena.New(np)
+		l.LocBlocked[n.ID] = arena.New(np)
+		l.CandidateIdx[n.ID] = candStore[int(n.ID)*np : (int(n.ID)+1)*np : (int(n.ID)+1)*np]
+	}
+	scratch := bitvec.New(np)
+	for _, n := range g.Nodes() {
+		ix.UpdateBlock(l, n, scratch)
+	}
+	return l
+}

@@ -1,0 +1,104 @@
+// Package batch runs the optimizer over many programs concurrently.
+//
+// Each program's fixpoint iteration is an independent, CPU-bound
+// computation over its own graph clone, so the natural unit of
+// parallelism is the whole optimization run: a bounded pool of workers
+// (default: GOMAXPROCS) drains a job list, and results are reported in
+// job order regardless of completion order. This is the engine behind
+// pdce.OptimizeAll, the multi-file mode of cmd/pdce, and the batch
+// throughput experiment of cmd/benchpaper.
+package batch
+
+import (
+	"runtime"
+	"sync"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+)
+
+// Job is one program to optimize.
+type Job struct {
+	// Name identifies the job in results and summaries.
+	Name string
+	// Graph is the input program; it is only read, never mutated
+	// (core.Transform clones it), so the same graph may appear in
+	// several jobs.
+	Graph *cfg.Graph
+	// Options configures the run. Function-valued fields (Hot,
+	// Observe) are invoked from worker goroutines and must be safe
+	// for concurrent use if shared across jobs.
+	Options core.Options
+}
+
+// Result is the outcome of one job. Results preserve job order.
+type Result struct {
+	Name  string
+	Graph *cfg.Graph // nil when Err is non-nil
+	Stats core.Stats
+	Err   error
+}
+
+// Run optimizes every job using at most workers concurrent
+// optimizations. workers <= 0 selects GOMAXPROCS; the pool never
+// exceeds the number of jobs. The returned slice is indexed like jobs.
+func Run(jobs []Job, workers int) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				g, st, err := core.Transform(j.Graph, j.Options)
+				results[i] = Result{Name: j.Name, Graph: g, Stats: st, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Summary aggregates a result set.
+type Summary struct {
+	Programs, Failed int
+
+	// Totals over the successful runs.
+	Rounds, Eliminated, Inserted, SinkRemoved int
+	OriginalStmts, FinalStmts                 int
+}
+
+// Summarize folds a result slice into per-batch totals.
+func Summarize(results []Result) Summary {
+	var s Summary
+	s.Programs = len(results)
+	for _, r := range results {
+		if r.Err != nil {
+			s.Failed++
+			continue
+		}
+		s.Rounds += r.Stats.Rounds
+		s.Eliminated += r.Stats.Eliminated
+		s.Inserted += r.Stats.Inserted
+		s.SinkRemoved += r.Stats.SinkRemoved
+		s.OriginalStmts += r.Stats.OriginalStmts
+		s.FinalStmts += r.Stats.FinalStmts
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+
+	"pdce/internal/cfg"
+	"pdce/internal/core"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+)
+
+func goodGraph(seed int64) *cfg.Graph {
+	return progen.Generate(progen.Params{Seed: seed, Stmts: 40})
+}
+
+// badGraph is structurally invalid (a node unreachable from start,
+// with no path to end), so core.Transform rejects it.
+func badGraph() *cfg.Graph {
+	g := parser.MustParseCFG(`
+node a { out(1) }
+edge s a
+edge a e
+`)
+	g.AddNode("orphan")
+	return g
+}
+
+func TestRunIsolatesFailures(t *testing.T) {
+	jobs := []Job{
+		{Name: "ok0", Graph: goodGraph(0), Options: core.Options{Mode: core.ModeDead}},
+		{Name: "bad", Graph: badGraph(), Options: core.Options{Mode: core.ModeDead}},
+		{Name: "ok1", Graph: goodGraph(1), Options: core.Options{Mode: core.ModeFaint}},
+	}
+	results := Run(jobs, 3)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, want := range []string{"ok0", "bad", "ok1"} {
+		if results[i].Name != want {
+			t.Errorf("result %d is %q, want %q (order must match jobs)", i, results[i].Name, want)
+		}
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("good jobs failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("invalid graph did not produce an error")
+	}
+	if results[1].Graph != nil {
+		t.Error("failed job carries a graph")
+	}
+
+	s := Summarize(results)
+	if s.Programs != 3 || s.Failed != 1 {
+		t.Errorf("Summarize = %+v, want 3 programs / 1 failed", s)
+	}
+	if s.Rounds != results[0].Stats.Rounds+results[2].Stats.Rounds {
+		t.Errorf("Summarize.Rounds = %d, want sum of successful runs", s.Rounds)
+	}
+}
+
+func TestRunWorkerClamping(t *testing.T) {
+	if got := Run(nil, 4); len(got) != 0 {
+		t.Fatalf("Run(nil) returned %d results", len(got))
+	}
+	var jobs []Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, Job{Name: fmt.Sprint(i), Graph: goodGraph(int64(i)), Options: core.Options{Mode: core.ModeDead}})
+	}
+	// More workers than jobs, zero workers (GOMAXPROCS), negative.
+	for _, w := range []int{64, 0, -1} {
+		results := Run(jobs, w)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", w, i, r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package bitvec
+
+// Arena is a slab allocator for Vectors: it carves vectors out of
+// large shared []uint64 chunks instead of one heap allocation per
+// vector. The dataflow solvers allocate two vectors per node per
+// analysis universe; backing them with a handful of slabs removes the
+// dominant allocation cost of a solve and keeps the vectors of one
+// solution contiguous in memory.
+//
+// Vectors allocated from an arena behave exactly like heap vectors.
+// Reset recycles the slabs: every vector previously handed out aliases
+// memory that will be reused, so Reset may only be called when no such
+// vector is referenced anymore.
+//
+// The zero Arena is ready to use.
+type Arena struct {
+	chunks [][]uint64
+	cur    int // index of the chunk being carved
+	off    int // carve offset into chunks[cur]
+}
+
+// arenaChunkWords is the minimum slab size (64 KiB). Vectors wider
+// than that get a dedicated slab.
+const arenaChunkWords = 8192
+
+// New returns a zeroed n-bit vector carved from the arena.
+func (a *Arena) New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	words := (n + wordBits - 1) / wordBits
+	return &Vector{n: n, words: a.alloc(words)}
+}
+
+// NewAllOnes returns an all-ones n-bit vector carved from the arena.
+func (a *Arena) NewAllOnes(n int) *Vector {
+	v := a.New(n)
+	v.SetAll()
+	return v
+}
+
+// Copy returns an arena-backed copy of w.
+func (a *Arena) Copy(w *Vector) *Vector {
+	v := a.New(w.n)
+	copy(v.words, w.words)
+	return v
+}
+
+func (a *Arena) alloc(words int) []uint64 {
+	if words == 0 {
+		return nil
+	}
+	for a.cur < len(a.chunks) {
+		c := a.chunks[a.cur]
+		if a.off+words <= len(c) {
+			s := c[a.off : a.off+words : a.off+words]
+			a.off += words
+			clear(s)
+			return s
+		}
+		a.cur++
+		a.off = 0
+	}
+	size := arenaChunkWords
+	if words > size {
+		size = words
+	}
+	c := make([]uint64, size)
+	a.chunks = append(a.chunks, c)
+	a.cur = len(a.chunks) - 1
+	a.off = words
+	return c[:words:words]
+}
+
+// Reset makes the arena's slabs available for reuse. All vectors
+// previously allocated from the arena are invalidated.
+func (a *Arena) Reset() {
+	a.cur = 0
+	a.off = 0
+}

@@ -1,0 +1,121 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArenaNewVectorsAreZeroAndIndependent(t *testing.T) {
+	var a Arena
+	sizes := []int{0, 1, 63, 64, 65, 200, 1000}
+	var vs []*Vector
+	for _, n := range sizes {
+		v := a.New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if !v.IsZero() {
+			t.Fatalf("arena New(%d) not zero", n)
+		}
+		vs = append(vs, v)
+	}
+	// Writing one vector must not disturb its slab neighbours.
+	for i, v := range vs {
+		for b := 0; b < v.Len(); b += 7 {
+			v.Set(b)
+		}
+		for j, w := range vs {
+			if j == i {
+				continue
+			}
+			for b := 0; b < w.Len(); b++ {
+				want := j < i && b%7 == 0
+				if w.Get(b) != want {
+					t.Fatalf("vector %d bit %d = %v after writing vector %d", j, b, w.Get(b), i)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaNewAllOnesAndCopy(t *testing.T) {
+	var a Arena
+	ones := a.NewAllOnes(130)
+	if ones.Count() != 130 {
+		t.Fatalf("NewAllOnes(130).Count() = %d", ones.Count())
+	}
+
+	src := New(99)
+	for _, b := range []int{0, 17, 63, 64, 98} {
+		src.Set(b)
+	}
+	cp := a.Copy(src)
+	if !cp.Equal(src) {
+		t.Fatalf("Copy = %s, want %s", cp, src)
+	}
+	cp.Clear(17)
+	if !src.Get(17) {
+		t.Fatal("mutating the arena copy changed the source")
+	}
+}
+
+func TestArenaCrossesChunkBoundary(t *testing.T) {
+	var a Arena
+	// Enough 1024-bit vectors to force several chunks, plus one
+	// vector larger than a whole chunk.
+	var vs []*Vector
+	for i := 0; i < 2000; i++ {
+		vs = append(vs, a.New(1024))
+	}
+	huge := a.New(arenaChunkWords*64 + 5)
+	if !huge.IsZero() {
+		t.Fatal("oversized arena vector not zero")
+	}
+	huge.Set(arenaChunkWords * 64)
+	for i, v := range vs {
+		if !v.IsZero() {
+			t.Fatalf("vector %d disturbed by oversized allocation", i)
+		}
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	var a Arena
+	v1 := a.New(256)
+	v1.SetAll()
+	a.Reset()
+	v2 := a.New(256)
+	if !v2.IsZero() {
+		t.Fatal("vector carved after Reset sees stale bits")
+	}
+}
+
+func TestOrNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		v, w := New(n), New(n)
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 0 {
+				v.Set(b)
+			}
+			if rng.Intn(2) == 0 {
+				w.Set(b)
+			}
+		}
+		want := New(n)
+		for b := 0; b < n; b++ {
+			if v.Get(b) || !w.Get(b) {
+				want.Set(b)
+			}
+		}
+		v.OrNot(w)
+		if !v.Equal(want) {
+			t.Fatalf("n=%d: OrNot = %s, want %s", n, v, want)
+		}
+		// The complement of bits past Len must not leak in.
+		if v.Count() > n {
+			t.Fatalf("OrNot set bits beyond Len: count %d > %d", v.Count(), n)
+		}
+	}
+}

@@ -162,6 +162,18 @@ func (v *Vector) AndNot(w *Vector) bool {
 	return changed
 }
 
+// OrNot sets v = v OR NOT w. The complement respects the vector
+// length (no stray high bits). It exists for the delayability
+// insertion predicate Σ ¬N-DELAYED, which would otherwise need a
+// temporary copy per successor.
+func (v *Vector) OrNot(w *Vector) {
+	v.checkSame(w)
+	for i, x := range w.words {
+		v.words[i] |= ^x
+	}
+	v.trim()
+}
+
 // Not sets v to its bitwise complement.
 func (v *Vector) Not() {
 	for i := range v.words {

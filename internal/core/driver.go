@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pdce/internal/analysis"
 	"pdce/internal/cfg"
 )
 
@@ -50,6 +51,17 @@ type Options struct {
 	// of, into, or through them (arriving code stops at their
 	// entry), and nothing inside them is eliminated.
 	Hot HotPredicate
+
+	// NoIncremental forces the reference driver, which rebuilds the
+	// variable and pattern universes and re-solves every analysis
+	// from scratch each round. The default incremental driver fixes
+	// the universes once and re-seeds each round's solvers from the
+	// previous solution plus the blocks that changed; the two
+	// produce identical programs (the equivalence property tests
+	// pin this down), so this switch exists for cross-checking and
+	// for measuring the incremental speedup. Hot-region runs always
+	// use the reference driver.
+	NoIncremental bool
 
 	// Observe, when non-nil, is called after every elimination and
 	// sinking phase with a snapshot of the intermediate program —
@@ -144,6 +156,31 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	st.PeakStmts = st.OriginalStmts
 	st.CriticalEdges = len(cfg.SplitCriticalEdges(out))
 
+	var err error
+	if opt.Hot != nil || opt.NoIncremental {
+		err = runReference(out, opt, &st)
+	} else {
+		err = runIncremental(out, opt, &st)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+
+	if !opt.KeepSynthetic {
+		st.SyntheticRemoved = cfg.RemoveEmptySynthetic(out)
+	}
+	st.FinalStmts = out.NumStmts()
+	if errs := cfg.Validate(out); len(errs) > 0 {
+		return nil, st, fmt.Errorf("core: %s produced invalid graph: %s", opt.Mode, errs[0])
+	}
+	return out, st, nil
+}
+
+// runReference is the from-scratch driver loop: each phase rebuilds its
+// universes and re-solves its analysis on the current program. It is
+// the semantic reference for runIncremental and the only driver that
+// supports hot-region localization.
+func runReference(out *cfg.Graph, opt Options, st *Stats) error {
 	var hot HotPredicate
 	if opt.Hot != nil {
 		hot = effectiveHot(opt.Hot)
@@ -171,7 +208,7 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	for {
 		st.Rounds++
 		if st.Rounds > limit {
-			return nil, st, fmt.Errorf("core: %s did not stabilize within %d rounds (implementation bug)", opt.Mode, limit)
+			return errNoFixpoint(opt.Mode, limit)
 		}
 
 		e := eliminate()
@@ -203,21 +240,144 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 		}
 
 		if !e.Changed() && !s.Changed() {
-			break
+			return nil
 		}
 		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
-			break
+			return nil
 		}
 	}
+}
 
-	if !opt.KeepSynthetic {
-		st.SyntheticRemoved = cfg.RemoveEmptySynthetic(out)
+// dirtySet accumulates the blocks mutated since an analysis last saw
+// the program. take hands the accumulated set to a solver and swaps in
+// the spare buffer, so callbacks fired after the solve append to fresh
+// storage while the solver still reads the returned slice.
+type dirtySet struct {
+	mark  []bool
+	ids   []cfg.NodeID
+	spare []cfg.NodeID
+}
+
+func newDirtySet(n int) *dirtySet { return &dirtySet{mark: make([]bool, n)} }
+
+func (d *dirtySet) add(id cfg.NodeID) {
+	if !d.mark[id] {
+		d.mark[id] = true
+		d.ids = append(d.ids, id)
 	}
-	st.FinalStmts = out.NumStmts()
-	if errs := cfg.Validate(out); len(errs) > 0 {
-		return nil, st, fmt.Errorf("core: %s produced invalid graph: %s", opt.Mode, errs[0])
+}
+
+func (d *dirtySet) empty() bool { return len(d.ids) == 0 }
+
+func (d *dirtySet) take() []cfg.NodeID {
+	ids := d.ids
+	for _, id := range ids {
+		d.mark[id] = false
 	}
-	return out, st, nil
+	d.ids = d.spare[:0]
+	d.spare = ids
+	return ids
+}
+
+// runIncremental is the round-to-round reuse driver. The variable and
+// pattern universes are collected once, after critical-edge splitting,
+// and kept for the whole run; both are supersets of every later
+// round's universe, which is exact (see DeadSolver and DelaySolver for
+// the arguments). Each phase records the blocks it mutates; the next
+// solve of each analysis re-seeds from the previous solution and the
+// accumulated dirty set instead of restarting from Top.
+//
+// The faint analysis is slotwise over a flat instruction numbering
+// that shifts with every mutation, so it is not re-seeded — but its
+// solution is cached and reused whenever a round begins with no
+// pending mutations (the common tail of long runs, where sinking has
+// stabilized and elimination finds nothing).
+func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
+	vars := out.CollectVars()
+	pt := out.CollectPatterns()
+
+	delay := analysis.NewDelaySolver(out, pt)
+	var deadSolver *analysis.DeadSolver
+	var faintRes *analysis.FaintResult
+	if opt.Mode == ModeDead {
+		deadSolver = analysis.NewDeadSolver(out, vars)
+	}
+
+	// pendElim holds blocks changed since the elimination analysis
+	// last saw the program; pendSink since the delayability solver
+	// did. An elimination in round r dirties the same round's sink
+	// and the next round's elimination; a sink dirties both of the
+	// next round's phases.
+	pendElim := newDirtySet(out.NumNodes())
+	pendSink := newDirtySet(out.NumNodes())
+	onChange := func(n *cfg.Node) {
+		pendElim.add(n.ID)
+		pendSink.add(n.ID)
+	}
+
+	limit := roundCap(out)
+	for {
+		st.Rounds++
+		if st.Rounds > limit {
+			return errNoFixpoint(opt.Mode, limit)
+		}
+
+		var e ElimStats
+		if opt.Mode == ModeFaint {
+			if faintRes == nil || !pendElim.empty() {
+				faintRes = analysis.FaintVarsWith(out, vars)
+				pendElim.take()
+				e = eliminateFaintSolved(out, faintRes, onChange)
+			} else {
+				e = eliminateFaintSolved(out, faintRes, onChange)
+				e.SolverWork = 0 // cached solution, no new work
+			}
+		} else {
+			res := deadSolver.Solve(pendElim.take())
+			e = eliminateDeadSolved(out, res, onChange)
+		}
+		st.Eliminated += e.Removed
+		st.ElimSolverWork += e.SolverWork
+		if opt.Observe != nil {
+			opt.Observe(PhaseEvent{
+				Round: st.Rounds, Phase: "eliminate",
+				Changed: e.Changed(), Removed: e.Removed,
+				Graph: out.Clone(),
+			})
+		}
+		if e.Changed() && opt.Mode == ModeFaint {
+			// The cached flat numbering is stale now.
+			faintRes = nil
+		}
+
+		dres := delay.Solve(pendSink.take())
+		s := applySink(out, pt, delay.Locals(), dres, onChange)
+		st.Inserted += s.InsertedEntry + s.InsertedExit
+		st.SinkRemoved += s.RemovedCandidates
+		st.SinkSolverWork += s.SolverVisits
+		if opt.Observe != nil {
+			opt.Observe(PhaseEvent{
+				Round: st.Rounds, Phase: "sink",
+				Changed:  s.Changed(),
+				Removed:  s.RemovedCandidates,
+				Inserted: s.InsertedEntry + s.InsertedExit,
+				Graph:    out.Clone(),
+			})
+		}
+		if s.Changed() {
+			faintRes = nil
+		}
+		if n := out.NumStmts(); n > st.PeakStmts {
+			st.PeakStmts = n
+		}
+
+		if !e.Changed() && !s.Changed() {
+			return nil
+		}
+		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
+			return nil
+		}
+	}
 }
 
 // PDE runs partial dead code elimination (sinking + dead code

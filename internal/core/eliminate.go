@@ -28,25 +28,41 @@ func (s ElimStats) Changed() bool { return s.Removed > 0 }
 // up front; cascading effects (elimination-elimination, Section 4.4)
 // are second-order and handled by the driver's re-iteration.
 func EliminateDead(g *cfg.Graph) ElimStats {
+	return eliminateDeadSolved(g, analysis.DeadVars(g), nil)
+}
+
+// eliminateDeadSolved applies the elimination step justified by an
+// already-solved dead-variable analysis. changed, when non-nil, is
+// called once for every block whose statement list was altered — the
+// dirty-set feed of the incremental driver.
+func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*cfg.Node)) ElimStats {
 	var st ElimStats
-	dead := analysis.DeadVars(g)
 	st.SolverWork = dead.Stats.NodeVisits
+	var idx []int
 	for _, n := range g.Nodes() {
 		if len(n.Stmts) == 0 {
 			continue
 		}
-		xd := dead.InstrXDead(n)
+		idx = dead.DeadAssignIndices(n, idx[:0])
+		if len(idx) == 0 {
+			continue
+		}
+		// idx is in decreasing statement order; walk it from the
+		// back to drop statements in one forward compaction.
+		j := len(idx) - 1
 		kept := n.Stmts[:0]
 		for si, s := range n.Stmts {
-			if a, ok := s.(ir.Assign); ok {
-				if vi, known := dead.Vars.Index(a.LHS); known && xd[si].Get(vi) {
-					st.Removed++
-					continue
-				}
+			if j >= 0 && idx[j] == si {
+				j--
+				st.Removed++
+				continue
 			}
 			kept = append(kept, s)
 		}
 		n.Stmts = kept
+		if changed != nil {
+			changed(n)
+		}
 	}
 	return st
 }
@@ -57,22 +73,35 @@ func EliminateDead(g *cfg.Graph) ElimStats {
 // dce removal is also an fce removal; fce additionally removes
 // mutually-sustaining useless assignments (Figure 9, Figure 12).
 func EliminateFaint(g *cfg.Graph) ElimStats {
+	return eliminateFaintSolved(g, analysis.FaintVars(g), nil)
+}
+
+// eliminateFaintSolved applies the elimination step justified by an
+// already-solved faint-variable analysis. The solution must describe
+// g's current statement layout (the flat program indexes into it).
+func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed func(*cfg.Node)) ElimStats {
 	var st ElimStats
-	faint := analysis.FaintVars(g)
 	st.SolverWork = faint.SlotUpdates
 	for _, n := range g.Nodes() {
 		if len(n.Stmts) == 0 {
 			continue
 		}
+		removed := 0
 		kept := n.Stmts[:0]
 		for si, s := range n.Stmts {
 			if a, ok := s.(ir.Assign); ok && faint.FaintAfter(n, si, a.LHS) {
-				st.Removed++
+				removed++
 				continue
 			}
 			kept = append(kept, s)
 		}
 		n.Stmts = kept
+		if removed > 0 {
+			st.Removed += removed
+			if changed != nil {
+				changed(n)
+			}
+		}
 	}
 	return st
 }

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"pdce/internal/core"
+	"pdce/internal/progen"
+)
+
+// TestIncrementalMatchesReference pins down the incremental driver's
+// exactness: across a spread of random programs (structured, loopy,
+// dense, irreducible) and both modes, the round-to-round reuse driver
+// must produce byte-identical output text and identical run statistics
+// to the from-scratch reference driver. 50 seeds x 4 shapes = 200
+// programs per mode.
+func TestIncrementalMatchesReference(t *testing.T) {
+	graphs := randomPrograms(t, 50)
+	for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+		for _, g := range graphs {
+			inc, incSt, err := core.Transform(g, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%v incremental: %v", g.Name, mode, err)
+			}
+			ref, refSt, err := core.Transform(g, core.Options{Mode: mode, NoIncremental: true})
+			if err != nil {
+				t.Fatalf("%s/%v reference: %v", g.Name, mode, err)
+			}
+			if got, want := inc.Format(), ref.Format(); got != want {
+				t.Errorf("%s/%v: incremental and reference outputs differ\nincremental:\n%s\nreference:\n%s",
+					g.Name, mode, got, want)
+				continue
+			}
+			if incSt.Rounds != refSt.Rounds ||
+				incSt.Eliminated != refSt.Eliminated ||
+				incSt.Inserted != refSt.Inserted ||
+				incSt.SinkRemoved != refSt.SinkRemoved ||
+				incSt.PeakStmts != refSt.PeakStmts {
+				t.Errorf("%s/%v: stats diverge: incremental %+v, reference %+v",
+					g.Name, mode, incSt, refSt)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesReferenceTruncated checks the equivalence also
+// holds under a MaxRounds truncation (the drivers must agree on the
+// intermediate program, not just the fixpoint).
+func TestIncrementalMatchesReferenceTruncated(t *testing.T) {
+	for seed := 0; seed < 25; seed++ {
+		g := progen.Generate(progen.Params{Seed: int64(seed), Stmts: 60, Vars: 5, LoopProb: 0.2, BranchProb: 0.3})
+		for _, rounds := range []int{1, 2} {
+			inc, _, err := core.Transform(g, core.Options{Mode: core.ModeDead, MaxRounds: rounds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, _, err := core.Transform(g, core.Options{Mode: core.ModeDead, MaxRounds: rounds, NoIncremental: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.Format() != ref.Format() {
+				t.Errorf("seed %d, MaxRounds=%d: outputs differ\nincremental:\n%s\nreference:\n%s",
+					seed, rounds, inc.Format(), ref.Format())
+			}
+		}
+	}
+}
+
+// TestIncrementalObserveSnapshots checks that the per-phase snapshots
+// of the two drivers agree — the incremental driver must not merely
+// reach the same fixpoint but walk the same intermediate programs.
+func TestIncrementalObserveSnapshots(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		g := progen.Generate(progen.Params{Seed: int64(seed), Stmts: 50, Vars: 4, BranchProb: 0.3})
+		snap := func(noInc bool) []string {
+			var out []string
+			_, _, err := core.Transform(g, core.Options{
+				Mode:          core.ModeDead,
+				NoIncremental: noInc,
+				Observe: func(ev core.PhaseEvent) {
+					out = append(out, ev.Phase+"\n"+ev.Graph.Format())
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		inc, ref := snap(false), snap(true)
+		if len(inc) != len(ref) {
+			t.Fatalf("seed %d: phase counts differ: %d vs %d", seed, len(inc), len(ref))
+		}
+		for i := range inc {
+			if inc[i] != ref[i] {
+				t.Errorf("seed %d: phase %d snapshots differ\nincremental:\n%s\nreference:\n%s",
+					seed, i, inc[i], ref[i])
+				break
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"sort"
+
 	"pdce/internal/analysis"
 	"pdce/internal/cfg"
 	"pdce/internal/ir"
@@ -54,83 +56,144 @@ func Sink(g *cfg.Graph) SinkStats {
 	pt := g.CollectPatterns()
 	locals := analysis.ComputeLocals(g, pt)
 	delay := analysis.DelayabilityWithLocals(g, locals)
-	return applySink(g, pt, locals, delay)
+	return applySink(g, pt, locals, delay, nil)
 }
 
-func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult) SinkStats {
+// sinkScratch holds applySink's reusable per-block buffers.
+type sinkScratch struct {
+	removeIdx     []int // candidate statement indices to drop
+	entryPatterns []int // pattern indices to insert at block entry
+	exitPatterns  []int // pattern indices to insert at block exit
+}
+
+// applySink rewrites every block according to a solved delayability
+// system. changed, when non-nil, is called once per block whose
+// statement list was altered.
+//
+// Multiple instances inserted at the same block boundary are ordered
+// by the pattern's first occurrence in the pre-sink program, not by
+// pattern-table index: the insertion set is determined by the solved
+// predicates, but table indices depend on the enumeration order of
+// whichever program version built the table. First-occurrence order
+// coincides with table order when the table was collected from the
+// current program (the reference driver), and is equally computable
+// from a superset table carried across the whole run (the incremental
+// driver) — so both drivers emit identical text.
+func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult, changed func(*cfg.Node)) SinkStats {
 	var st SinkStats
 	st.SolverVisits = delay.Stats.NodeVisits
+	rank := occurrenceRanks(g, pt)
+	var sc sinkScratch
 	for _, n := range g.Nodes() {
 		nIns := delay.NInsert[n.ID]
 		xIns := delay.XInsert[n.ID]
 		cand := locals.CandidateIdx[n.ID]
 
-		// keepInPlace[si] marks candidate statement indices fused
-		// with an exit insertion; removeIdx marks candidates to
-		// drop.
-		var removeAny, insertAny bool
-		keep := map[int]bool{}
-		remove := map[int]bool{}
-		for pi := 0; pi < pt.Len(); pi++ {
-			si := cand[pi]
-			if si < 0 {
-				continue
+		sc.removeIdx = sc.removeIdx[:0]
+		sc.entryPatterns = sc.entryPatterns[:0]
+		sc.exitPatterns = sc.exitPatterns[:0]
+
+		// A candidate whose pattern has X-INSERT here is fused:
+		// removal and exit-insertion cancel, the occurrence stays.
+		// Each statement is the candidate of at most its own
+		// pattern, so the remove and keep sets cannot collide.
+		locals.LocDelayed[n.ID].ForEach(func(pi int) {
+			if si := cand[pi]; si >= 0 && !xIns.Get(pi) {
+				sc.removeIdx = append(sc.removeIdx, si)
 			}
-			if xIns.Get(pi) {
-				keep[si] = true
-			} else {
-				remove[si] = true
-				removeAny = true
-			}
-		}
-		if !nIns.IsZero() {
-			insertAny = true
-		}
+		})
+		nIns.ForEach(func(pi int) {
+			sc.entryPatterns = append(sc.entryPatterns, pi)
+		})
 		// Exit insertions for patterns without a local candidate.
-		var exitPatterns []int
 		xIns.ForEach(func(pi int) {
 			if cand[pi] < 0 {
-				exitPatterns = append(exitPatterns, pi)
-				insertAny = true
+				sc.exitPatterns = append(sc.exitPatterns, pi)
 			}
 		})
-		if !removeAny && !insertAny {
+		if len(sc.removeIdx) == 0 && len(sc.entryPatterns) == 0 && len(sc.exitPatterns) == 0 {
 			continue
 		}
+		sortByRank(sc.entryPatterns, rank)
+		sortByRank(sc.exitPatterns, rank)
 
-		newStmts := make([]ir.Stmt, 0, len(n.Stmts)+nIns.Count()+len(exitPatterns))
-		nIns.ForEach(func(pi int) {
+		newStmts := make([]ir.Stmt, 0, len(n.Stmts)+len(sc.entryPatterns)+len(sc.exitPatterns))
+		for _, pi := range sc.entryPatterns {
 			newStmts = append(newStmts, pt.MakeAssign(pi))
 			st.InsertedEntry++
-		})
+		}
 		for si, s := range n.Stmts {
-			if remove[si] && !keep[si] {
+			if containsInt(sc.removeIdx, si) {
 				st.RemovedCandidates++
 				continue
 			}
 			newStmts = append(newStmts, s)
 		}
-		// Exit insertions. With critical edges split these never
-		// target branching nodes (footnote 6), but Sink is also
-		// usable standalone on unsplit graphs: a Branch terminator
-		// must stay last, and placing the instance before it is
-		// exact — X-DELAYED only holds past a branch that does not
-		// block the pattern.
-		insertAt := len(newStmts)
-		if k := len(newStmts); k > 0 {
-			if _, isBranch := newStmts[k-1].(ir.Branch); isBranch {
-				insertAt = k - 1
+		if len(sc.exitPatterns) > 0 {
+			// Exit insertions. With critical edges split these
+			// never target branching nodes (footnote 6), but Sink
+			// is also usable standalone on unsplit graphs: a
+			// Branch terminator must stay last, and placing the
+			// instance before it is exact — X-DELAYED only holds
+			// past a branch that does not block the pattern.
+			insertAt := len(newStmts)
+			if k := len(newStmts); k > 0 {
+				if _, isBranch := newStmts[k-1].(ir.Branch); isBranch {
+					insertAt = k - 1
+				}
 			}
+			tail := append([]ir.Stmt(nil), newStmts[insertAt:]...)
+			newStmts = newStmts[:insertAt]
+			for _, pi := range sc.exitPatterns {
+				newStmts = append(newStmts, pt.MakeAssign(pi))
+				st.InsertedExit++
+			}
+			newStmts = append(newStmts, tail...)
 		}
-		tail := append([]ir.Stmt(nil), newStmts[insertAt:]...)
-		newStmts = newStmts[:insertAt]
-		for _, pi := range exitPatterns {
-			newStmts = append(newStmts, pt.MakeAssign(pi))
-			st.InsertedExit++
+		n.Stmts = newStmts
+		if changed != nil {
+			changed(n)
 		}
-		n.Stmts = append(newStmts, tail...)
 	}
 	return st
+}
+
+// occurrenceRanks maps each pattern index to the position of its first
+// occurrence in g (node order, then statement order); patterns with no
+// occurrence get a rank past every real one. Insertions are sourced
+// from sinking candidates, so every inserted pattern has a real rank.
+func occurrenceRanks(g *cfg.Graph, pt *ir.PatternTable) []int {
+	rank := make([]int, pt.Len())
+	for i := range rank {
+		rank[i] = int(^uint(0) >> 1)
+	}
+	r := 0
+	for _, n := range g.Nodes() {
+		for _, s := range n.Stmts {
+			if pi, ok := pt.IndexOfStmt(s); ok && rank[pi] > r {
+				rank[pi] = r
+				r++
+			}
+		}
+	}
+	return rank
+}
+
+// sortByRank orders pattern indices by their occurrence rank.
+func sortByRank(idx []int, rank []int) {
+	if len(idx) < 2 {
+		return
+	}
+	sort.Slice(idx, func(i, j int) bool { return rank[idx[i]] < rank[idx[j]] })
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
 }
 
 // SinkStable reports whether an assignment-sinking step would leave g

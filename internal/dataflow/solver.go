@@ -13,6 +13,12 @@
 // problem's top value and iterate downwards. Solvers record iteration
 // statistics so cmd/benchpaper can report empirical convergence
 // behaviour against Section 6's estimates.
+//
+// Beyond the one-shot Solve, the Solver type supports the fixpoint
+// driver's round structure: it owns its In/Out storage (slab-allocated,
+// reused across solves) and can re-solve incrementally after a known
+// set of blocks changed, re-seeding from the previous solution instead
+// of re-initializing the whole graph to top.
 package dataflow
 
 import (
@@ -79,7 +85,7 @@ type Result struct {
 	// block entry, Out at block exit, regardless of direction.
 	In, Out []*bitvec.Vector
 
-	// Stats describes the solver run.
+	// Stats describes the solver run that produced this solution.
 	Stats SolverStats
 }
 
@@ -90,6 +96,10 @@ type SolverStats struct {
 	// Passes is an upper estimate of sweep count: visits divided by
 	// node count, rounded up.
 	Passes int
+	// Seeded is the number of nodes placed on the initial worklist:
+	// all nodes for a full solve, only the affected region for an
+	// incremental one.
+	Seeded int
 }
 
 // Solve computes the fixpoint of p on g with a worklist algorithm.
@@ -98,97 +108,229 @@ type SolverStats struct {
 // typical for structured graphs while remaining correct on the
 // irreducible ones the paper's Figure 5 exercises.
 func Solve(g *cfg.Graph, p VectorProblem) *Result {
+	return NewSolver(g, p).Full()
+}
+
+// Solver is a reusable worklist solver bound to one graph and one
+// problem. It owns the solution storage (allocated from one slab) and
+// the worklist scratch, so repeated solves — the driver's rounds —
+// allocate nothing.
+//
+// The solver assumes the graph's node and edge structure stays fixed
+// between solves; only block contents (the transfer functions) may
+// change. The paper's driver satisfies this: critical edges are split
+// once before the rounds, and synthetic-node cleanup happens after.
+type Solver struct {
+	g   *cfg.Graph
+	p   VectorProblem
+	res Result
+
+	arena    bitvec.Arena
+	top      *bitvec.Vector
+	boundary *bitvec.Vector
+	tmp      *bitvec.Vector
+
+	order   []*cfg.Node // solve order: RPO (forward) or PO (backward)
+	forward bool
+
+	inQueue  []bool
+	queue    []*cfg.Node
+	affected []bool // scratch for Resolve's region marking
+	solved   bool
+}
+
+// NewSolver creates a solver for p on g. No solving happens yet.
+func NewSolver(g *cfg.Graph, p VectorProblem) *Solver {
+	s := &Solver{g: g, p: p, forward: p.Direction() == Forward}
+	if s.forward {
+		s.order = cfg.ReversePostorder(g)
+	} else {
+		s.order = cfg.Postorder(g)
+	}
 	n := g.NumNodes()
-	res := &Result{
-		In:  make([]*bitvec.Vector, n),
-		Out: make([]*bitvec.Vector, n),
-	}
-	forward := p.Direction() == Forward
-
-	var order []*cfg.Node
-	if forward {
-		order = cfg.ReversePostorder(g)
-	} else {
-		order = cfg.Postorder(g)
-	}
-
+	s.res.In = make([]*bitvec.Vector, n)
+	s.res.Out = make([]*bitvec.Vector, n)
+	s.top = p.Top()
+	s.boundary = p.Boundary()
+	s.tmp = bitvec.New(p.Bits())
+	s.inQueue = make([]bool, n)
+	s.affected = make([]bool, n)
+	s.queue = make([]*cfg.Node, 0, len(s.order))
 	for _, node := range g.Nodes() {
-		res.In[node.ID] = p.Top()
-		res.Out[node.ID] = p.Top()
+		s.res.In[node.ID] = s.arena.Copy(s.top)
+		s.res.Out[node.ID] = s.arena.Copy(s.top)
 	}
-	if forward {
-		res.In[g.Start.ID] = p.Boundary()
-	} else {
-		res.Out[g.End.ID] = p.Boundary()
+	return s
+}
+
+// Result returns the current solution. Valid after Full or Resolve.
+func (s *Solver) Result() *Result { return &s.res }
+
+// Full solves from scratch: every node re-initialized to top, every
+// node seeded.
+func (s *Solver) Full() *Result {
+	for _, node := range s.g.Nodes() {
+		s.res.In[node.ID].CopyFrom(s.top)
+		s.res.Out[node.ID].CopyFrom(s.top)
+	}
+	s.applyBoundary()
+	s.queue = s.queue[:0]
+	for _, node := range s.order {
+		s.queue = append(s.queue, node)
+		s.inQueue[node.ID] = true
+	}
+	s.res.Stats = SolverStats{Seeded: len(s.queue)}
+	s.run()
+	s.solved = true
+	return &s.res
+}
+
+// Resolve re-solves after the blocks in dirty changed, reusing the
+// previous solution everywhere the change cannot reach.
+//
+// The affected region is the set of nodes whose solution value can
+// depend on a dirty block's content: for a backward problem the dirty
+// blocks and everything that reaches them (transitive predecessors),
+// for a forward problem the dirty blocks and everything they reach.
+// Values outside the region form a closed subsystem whose equations
+// did not change, so their old values are exactly the new greatest
+// fixpoint there; inside the region values restart from top, which
+// makes the descending iteration converge to the exact greatest
+// fixpoint of the updated system — byte-identical to a full solve.
+//
+// Resolve on an unsolved Solver falls back to Full. An empty dirty set
+// returns the previous solution untouched.
+func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
+	if !s.solved {
+		return s.Full()
+	}
+	if len(dirty) == 0 {
+		s.res.Stats = SolverStats{}
+		return &s.res
 	}
 
-	inQueue := make([]bool, n)
-	queue := make([]*cfg.Node, 0, len(order))
-	for _, node := range order {
-		queue = append(queue, node)
-		inQueue[node.ID] = true
-	}
-
-	meetInto := func(dst *bitvec.Vector, src *bitvec.Vector) bool {
-		if p.Meet() == Intersect {
-			return dst.And(src)
+	// Mark the affected region by BFS against the flow direction of
+	// dependence: backward problems depend on successors, so a dirty
+	// node invalidates its transitive predecessors; forward dually.
+	clear(s.affected)
+	frontier := s.queue[:0] // reuse queue storage as BFS scratch
+	for _, id := range dirty {
+		if !s.affected[id] {
+			s.affected[id] = true
+			frontier = append(frontier, s.g.Node(id))
 		}
-		return dst.Or(src)
+	}
+	for len(frontier) > 0 {
+		node := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		var deps []*cfg.Node
+		if s.forward {
+			deps = node.Succs()
+		} else {
+			deps = node.Preds()
+		}
+		for _, d := range deps {
+			if !s.affected[d.ID] {
+				s.affected[d.ID] = true
+				frontier = append(frontier, d)
+			}
+		}
 	}
 
-	tmp := bitvec.New(p.Bits())
-	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
-		inQueue[node.ID] = false
+	// Re-initialize and seed only the affected region, in solve
+	// order.
+	s.queue = s.queue[:0]
+	for _, node := range s.order {
+		if !s.affected[node.ID] {
+			continue
+		}
+		s.res.In[node.ID].CopyFrom(s.top)
+		s.res.Out[node.ID].CopyFrom(s.top)
+		s.queue = append(s.queue, node)
+		s.inQueue[node.ID] = true
+	}
+	s.applyBoundary()
+	s.res.Stats = SolverStats{Seeded: len(s.queue)}
+	s.run()
+	return &s.res
+}
+
+func (s *Solver) applyBoundary() {
+	if s.forward {
+		s.res.In[s.g.Start.ID].CopyFrom(s.boundary)
+	} else {
+		s.res.Out[s.g.End.ID].CopyFrom(s.boundary)
+	}
+}
+
+// run drains the worklist. The queue is consumed via a head index —
+// re-slicing the backing array from the front would pin its full
+// length for the life of the solve (and grow it on every requeue).
+func (s *Solver) run() {
+	res := &s.res
+	p := s.p
+	g := s.g
+	intersect := p.Meet() == Intersect
+
+	meetInto := func(dst, src *bitvec.Vector) {
+		if intersect {
+			dst.And(src)
+		} else {
+			dst.Or(src)
+		}
+	}
+
+	for head := 0; head < len(s.queue); head++ {
+		node := s.queue[head]
+		s.inQueue[node.ID] = false
 		res.Stats.NodeVisits++
 
-		if forward {
+		if s.forward {
 			// Meet predecessors into In (except at Start,
 			// whose In is the fixed boundary).
 			if node != g.Start {
 				in := res.In[node.ID]
-				if len(node.Preds()) > 0 {
-					in.CopyFrom(res.Out[node.Preds()[0].ID])
-					for _, pr := range node.Preds()[1:] {
+				if preds := node.Preds(); len(preds) > 0 {
+					in.CopyFrom(res.Out[preds[0].ID])
+					for _, pr := range preds[1:] {
 						meetInto(in, res.Out[pr.ID])
 					}
 				}
 			}
-			p.Transfer(node, res.In[node.ID], tmp)
-			if !tmp.Equal(res.Out[node.ID]) {
-				res.Out[node.ID].CopyFrom(tmp)
-				for _, s := range node.Succs() {
-					if !inQueue[s.ID] {
-						inQueue[s.ID] = true
-						queue = append(queue, s)
+			p.Transfer(node, res.In[node.ID], s.tmp)
+			if !s.tmp.Equal(res.Out[node.ID]) {
+				res.Out[node.ID].CopyFrom(s.tmp)
+				for _, succ := range node.Succs() {
+					if !s.inQueue[succ.ID] {
+						s.inQueue[succ.ID] = true
+						s.queue = append(s.queue, succ)
 					}
 				}
 			}
 		} else {
 			if node != g.End {
 				out := res.Out[node.ID]
-				if len(node.Succs()) > 0 {
-					out.CopyFrom(res.In[node.Succs()[0].ID])
-					for _, s := range node.Succs()[1:] {
-						meetInto(out, res.In[s.ID])
+				if succs := node.Succs(); len(succs) > 0 {
+					out.CopyFrom(res.In[succs[0].ID])
+					for _, succ := range succs[1:] {
+						meetInto(out, res.In[succ.ID])
 					}
 				}
 			}
-			p.Transfer(node, res.Out[node.ID], tmp)
-			if !tmp.Equal(res.In[node.ID]) {
-				res.In[node.ID].CopyFrom(tmp)
+			p.Transfer(node, res.Out[node.ID], s.tmp)
+			if !s.tmp.Equal(res.In[node.ID]) {
+				res.In[node.ID].CopyFrom(s.tmp)
 				for _, pr := range node.Preds() {
-					if !inQueue[pr.ID] {
-						inQueue[pr.ID] = true
-						queue = append(queue, pr)
+					if !s.inQueue[pr.ID] {
+						s.inQueue[pr.ID] = true
+						s.queue = append(s.queue, pr)
 					}
 				}
 			}
 		}
 	}
-	if n > 0 {
+	s.queue = s.queue[:0]
+	if n := g.NumNodes(); n > 0 {
 		res.Stats.Passes = (res.Stats.NodeVisits + n - 1) / n
 	}
-	return res
 }

@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"pdce/internal/baseline"
+	"pdce/internal/batch"
 	"pdce/internal/cfg"
 	"pdce/internal/copyprop"
 	"pdce/internal/core"
@@ -146,6 +147,11 @@ type Options struct {
 	// KeepSynthetic retains empty synthetic nodes inserted by
 	// critical-edge splitting.
 	KeepSynthetic bool
+	// NoIncremental forces the from-scratch reference driver instead
+	// of the default incremental one (which reuses analysis results
+	// round to round). Both produce identical programs; the switch
+	// exists for cross-checking and performance comparison.
+	NoIncremental bool
 	// Hot, when non-nil, localizes the optimization to the blocks
 	// whose labels it accepts — the paper's Section 7 "hot areas"
 	// heuristic. Cold blocks are left untouched except for code
@@ -193,13 +199,13 @@ func fromCoreStats(st core.Stats) Stats {
 	}
 }
 
-// Optimize runs partial dead (faint) code elimination and returns the
-// optimized program.
-func (p *Program) Optimize(o Options) (*Program, Stats, error) {
+// coreOptions lowers the public options to the driver's.
+func (o Options) coreOptions() core.Options {
 	copt := core.Options{
 		Mode:          o.Mode,
 		MaxRounds:     o.MaxRounds,
 		KeepSynthetic: o.KeepSynthetic,
+		NoIncremental: o.NoIncremental,
 	}
 	if o.Hot != nil {
 		hot := o.Hot
@@ -211,11 +217,52 @@ func (p *Program) Optimize(o Options) (*Program, Stats, error) {
 			obs(ev.Round, ev.Phase, ev.Changed, ev.Graph.String())
 		}
 	}
-	g, st, err := core.Transform(p.g, copt)
+	return copt
+}
+
+// Optimize runs partial dead (faint) code elimination and returns the
+// optimized program.
+func (p *Program) Optimize(o Options) (*Program, Stats, error) {
+	g, st, err := core.Transform(p.g, o.coreOptions())
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	return &Program{g: g}, fromCoreStats(st), nil
+}
+
+// BatchResult is the outcome of one program of an OptimizeAll batch.
+type BatchResult struct {
+	// Name is the program's name; results preserve input order.
+	Name string
+	// Program is the optimized program, nil when Err is non-nil.
+	Program *Program
+	Stats   Stats
+	Err     error
+}
+
+// OptimizeAll optimizes every program concurrently with at most
+// workers simultaneous runs (workers <= 0 selects GOMAXPROCS). Each
+// run is independent — inputs are never mutated — and results are
+// returned in input order. The function-valued options (Hot, Observe)
+// are shared across all runs and must be safe for concurrent use;
+// Observe additionally receives interleaved events from different
+// programs, so most batch callers leave it nil.
+func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
+	jobs := make([]batch.Job, len(programs))
+	copt := o.coreOptions()
+	for i, p := range programs {
+		jobs[i] = batch.Job{Name: p.Name(), Graph: p.g, Options: copt}
+	}
+	res := batch.Run(jobs, workers)
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = BatchResult{Name: r.Name, Err: r.Err}
+		if r.Err == nil {
+			out[i].Program = &Program{g: r.Graph}
+			out[i].Stats = fromCoreStats(r.Stats)
+		}
+	}
+	return out
 }
 
 // PDE runs partial dead code elimination to its optimum.
