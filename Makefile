@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz ci
 
 all: build
 
@@ -21,8 +21,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench PDEScaling -benchmem -benchtime 1x .
 
+# Fuzz smoke over the containment contract: SafeOptimize must never
+# panic and must always return a structurally valid program, whatever
+# the input and option combination.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSafeOptimize -fuzztime 20s .
+
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
-# tests, the batch pipeline tests, and the allocation budget guard),
-# and a benchmark smoke pass.
-ci: vet build race bench
+# tests, the batch pipeline and fault-injection tests, and the
+# allocation budget guard), a benchmark smoke pass, and the
+# containment fuzz smoke.
+ci: vet build race bench fuzz

@@ -56,13 +56,21 @@ var (
 
 func main() {
 	flag.Parse()
-	run := func(name string, f func()) {
+	// A failing experiment does not abort the process: its partial
+	// tables stay printed, the failure is reported, and the remaining
+	// experiments still run. The single exit path below turns any
+	// failure into a non-zero status.
+	var failed []string
+	run := func(name string, f func() error) {
 		if *expFlag == "all" || strings.EqualFold(*expFlag, name) {
-			f()
+			if err := f(); err != nil {
+				failed = append(failed, name)
+				fmt.Fprintf(os.Stderr, "benchpaper: %s: %v (continuing)\n", name, err)
+			}
 		}
 	}
 	run("F", expFigures)
-	run("C1", func() { expScaling(core.ModeDead, "C1", "pde") })
+	run("C1", func() error { return expScaling(core.ModeDead, "C1", "pde") })
 	run("C2", expPFERatio)
 	run("C3", expGrowth)
 	run("C4", expRounds)
@@ -72,12 +80,18 @@ func main() {
 	run("C8", expPressure)
 	run("C9", expBatch)
 	if *expFlag != "all" {
-		for _, known := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"} {
-			if strings.EqualFold(*expFlag, known) {
-				return
-			}
+		known := false
+		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"} {
+			known = known || strings.EqualFold(*expFlag, k)
 		}
-		fmt.Fprintf(os.Stderr, "benchpaper: unknown experiment %q\n", *expFlag)
+		if !known {
+			fmt.Fprintf(os.Stderr, "benchpaper: unknown experiment %q\n", *expFlag)
+			os.Exit(1)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchpaper: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
 	}
 }
@@ -91,7 +105,7 @@ func sizes() []int {
 
 // --- F: figures -------------------------------------------------------
 
-func expFigures() {
+func expFigures() error {
 	fmt.Println("## F — Figures 1–13: paper transformation vs. implementation")
 	fmt.Println()
 	fmt.Println("| figure | demonstrates | result | rounds | eliminated | verified |")
@@ -124,29 +138,13 @@ func expFigures() {
 		fmt.Printf("| %d | %s | %s | %d | %d | %s |\n", f.Num, f.Title, status, st.Rounds, st.Eliminated, verified)
 	}
 	fmt.Println()
+	return nil
 }
 
 // --- C1/C2: time scaling ----------------------------------------------
 
-func timeTransform(g *cfg.Graph, mode core.Mode) (time.Duration, core.Stats) {
-	best := time.Duration(math.MaxInt64)
-	var st core.Stats
-	reps := 3
-	if g.NumStmts() > 1500 {
-		reps = 1
-	}
-	for r := 0; r < reps; r++ {
-		start := time.Now()
-		_, s, err := core.Transform(g, core.Options{Mode: mode})
-		d := time.Since(start)
-		if err != nil {
-			panic(err)
-		}
-		if d < best {
-			best, st = d, s
-		}
-	}
-	return best, st
+func timeTransform(g *cfg.Graph, mode core.Mode) (time.Duration, core.Stats, error) {
+	return timeTransformOpt(g, core.Options{Mode: mode})
 }
 
 // fitExponent estimates k in time ~ n^k by least squares on log-log.
@@ -164,7 +162,7 @@ func fitExponent(ns []int, ts []time.Duration) float64 {
 	return (m*sxy - sx*sy) / (m*sxx - sx*sx)
 }
 
-func expScaling(mode core.Mode, id, label string) {
+func expScaling(mode core.Mode, id, label string) error {
 	fmt.Printf("## %s — %s wall-clock scaling on structured programs\n\n", id, label)
 	fmt.Println("| n (stmts) | blocks | time (median over seeds) | rounds | time/n |")
 	fmt.Println("|----------:|-------:|-------------------------:|-------:|-------:|")
@@ -177,7 +175,10 @@ func expScaling(mode core.Mode, id, label string) {
 		for s := 0; s < *seeds; s++ {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n})
 			blocks = g.NumNodes()
-			d, st := timeTransform(g, mode)
+			d, st, err := timeTransform(g, mode)
+			if err != nil {
+				return fmt.Errorf("%s n=%d seed=%d: %w", label, n, s, err)
+			}
 			durs = append(durs, d)
 			rounds += st.Rounds
 		}
@@ -190,28 +191,38 @@ func expScaling(mode core.Mode, id, label string) {
 			float64(med.Nanoseconds())/float64(n))
 	}
 	fmt.Printf("\nfitted exponent: time ~ n^%.2f (paper bound for realistic structured programs: O(n^2))\n\n", fitExponent(ns, ts))
+	return nil
 }
 
-func expPFERatio() {
-	expScaling(core.ModeFaint, "C2", "pfe")
+func expPFERatio() error {
+	if err := expScaling(core.ModeFaint, "C2", "pfe"); err != nil {
+		return err
+	}
 	fmt.Println("### pfe/pde cost ratio")
 	fmt.Println()
 	fmt.Println("| n (stmts) | pde | pfe | ratio |")
 	fmt.Println("|----------:|----:|----:|------:|")
 	for _, n := range sizes() {
 		g := progen.Generate(progen.Params{Seed: 1, Stmts: n})
-		dPDE, _ := timeTransform(g, core.ModeDead)
-		dPFE, _ := timeTransform(g, core.ModeFaint)
+		dPDE, _, err := timeTransform(g, core.ModeDead)
+		if err != nil {
+			return fmt.Errorf("pde n=%d: %w", n, err)
+		}
+		dPFE, _, err := timeTransform(g, core.ModeFaint)
+		if err != nil {
+			return fmt.Errorf("pfe n=%d: %w", n, err)
+		}
 		fmt.Printf("| %d | %v | %v | %.2f |\n",
 			n, dPDE.Round(time.Microsecond), dPFE.Round(time.Microsecond),
 			float64(dPFE)/float64(dPDE))
 	}
 	fmt.Println()
+	return nil
 }
 
 // --- C3: growth factor w ----------------------------------------------
 
-func expGrowth() {
+func expGrowth() error {
 	fmt.Println("## C3 — code growth factor w = peak/original statements (§6.2)")
 	fmt.Println()
 	fmt.Println("| n (stmts) | w (mean) | w (max) | final/original |")
@@ -222,7 +233,7 @@ func expGrowth() {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n})
 			_, st, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("pde n=%d seed=%d: %w", n, s, err)
 			}
 			w := st.GrowthFactor()
 			sum += w
@@ -237,11 +248,12 @@ func expGrowth() {
 	fmt.Println()
 	fmt.Println("paper: w is O(b) in the worst case but expected O(1) in practice — confirmed if the columns stay near 1.")
 	fmt.Println()
+	return nil
 }
 
 // --- C4: iteration count r --------------------------------------------
 
-func expRounds() {
+func expRounds() error {
 	fmt.Println("## C4 — driver iterations r until stabilization (§6.3)")
 	fmt.Println()
 	fmt.Println("| n (stmts) | r pde (mean) | r pde (max) | r pfe (mean) | r/n |")
@@ -252,11 +264,11 @@ func expRounds() {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n, LoopProb: 0.15, BranchProb: 0.25})
 			_, stD, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("pde n=%d seed=%d: %w", n, s, err)
 			}
 			_, stF, err := core.PFE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("pfe n=%d seed=%d: %w", n, s, err)
 			}
 			sumD += float64(stD.Rounds)
 			if float64(stD.Rounds) > maxD {
@@ -271,11 +283,12 @@ func expRounds() {
 	fmt.Println()
 	fmt.Println("paper: r is at most quadratic, conjectured linear; small constants here support the conjecture.")
 	fmt.Println()
+	return nil
 }
 
 // --- C5: optimization power -------------------------------------------
 
-func expPower() {
+func expPower() error {
 	fmt.Println("## C5 — optimization power: dynamic assignment savings vs. baselines")
 	fmt.Println()
 	fmt.Println("Savings = fraction of executed assignment instances removed,")
@@ -323,17 +336,17 @@ func expPower() {
 			results[3] = ssaG
 			sr, err := baseline.SingleRound(g, core.ModeDead)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s single-round: %w", w.name, err)
 			}
 			results[4] = sr.Graph
 			pdeG, _, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s pde: %w", w.name, err)
 			}
 			results[5] = pdeG
 			pfeG, _, err := core.PFE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s pfe: %w", w.name, err)
 			}
 			results[6] = pfeG
 			for i, r := range results {
@@ -346,11 +359,12 @@ func expPower() {
 			100*sav[4]/k, 100*sav[5]/k, 100*sav[6]/k)
 	}
 	fmt.Println()
+	return nil
 }
 
 // --- C6: safety ablation ----------------------------------------------
 
-func expSafety() {
+func expSafety() error {
 	fmt.Println("## C6 — safety ablation: all-paths (paper) vs. some-path (eager) sinking")
 	fmt.Println()
 	fmt.Println("Replaying executions against the transformed program; a violation is a")
@@ -382,7 +396,7 @@ func expSafety() {
 		for _, g := range graphs {
 			pdeG, _, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s pde: %w", c.name, err)
 			}
 			rep := verify.CheckTransformed(g, pdeG, verify.Options{Seeds: 32, Fuel: 512})
 			pdeViol += len(rep.Violations)
@@ -397,11 +411,12 @@ func expSafety() {
 	fmt.Println("\npaper's guarantee: the pde column must be all zeros; the union ablation")
 	fmt.Println("demonstrates why the product confluence (justified insertions) is essential.")
 	fmt.Println()
+	return nil
 }
 
 // --- C7: hoisting direction ---------------------------------------------
 
-func expHoist() {
+func expHoist() error {
 	fmt.Println("## C7 — assignment hoisting ([9], Related Work) cannot eliminate partial deadness")
 	fmt.Println()
 	fmt.Println("Dynamic assignment savings of hoisting (must be exactly 0, the")
@@ -431,14 +446,14 @@ func expHoist() {
 		for _, g := range w.graphs {
 			h, _, err := hoist.Optimize(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s hoist: %w", w.name, err)
 			}
 			rep := verify.CheckTransformed(g, h, verify.Options{Seeds: 32, Fuel: 512})
 			violations += len(rep.Violations)
 			sHoist += verify.MeasureImprovement(g, h, 32, 512).Savings()
 			p, _, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s pde: %w", w.name, err)
 			}
 			sPDE += verify.MeasureImprovement(g, p, 32, 512).Savings()
 		}
@@ -450,11 +465,12 @@ func expHoist() {
 	fmt.Println("of partially dead code\" — the hoist column staying at 0.0% while pde")
 	fmt.Println("saves confirms it; 0 violations confirm hoisting is still admissible motion.")
 	fmt.Println()
+	return nil
 }
 
 // --- C9: incremental driver & batch throughput ---------------------------
 
-func expBatch() {
+func expBatch() error {
 	fmt.Println("## C9 — incremental driver and batch-optimization throughput")
 	fmt.Println()
 	fmt.Println("### incremental vs. from-scratch driver (identical outputs)")
@@ -467,8 +483,14 @@ func expBatch() {
 	fmt.Println("|----------:|-------------:|------------:|--------:|")
 	for _, n := range sizes() {
 		g := progen.Generate(progen.Params{Seed: 1, Stmts: n})
-		ref, _ := timeTransformOpt(g, core.Options{Mode: core.ModeDead, NoIncremental: true})
-		inc, _ := timeTransformOpt(g, core.Options{Mode: core.ModeDead})
+		ref, _, err := timeTransformOpt(g, core.Options{Mode: core.ModeDead, NoIncremental: true})
+		if err != nil {
+			return fmt.Errorf("from-scratch n=%d: %w", n, err)
+		}
+		inc, _, err := timeTransformOpt(g, core.Options{Mode: core.ModeDead})
+		if err != nil {
+			return fmt.Errorf("incremental n=%d: %w", n, err)
+		}
 		fmt.Printf("| %d | %v | %v | %.1fx |\n",
 			n, ref.Round(time.Microsecond), inc.Round(time.Microsecond),
 			float64(ref)/float64(inc))
@@ -508,7 +530,7 @@ func expBatch() {
 		results := batch.Run(jobs, w)
 		d := time.Since(start)
 		if s := batch.Summarize(results); s.Failed > 0 {
-			panic(fmt.Sprintf("C9: %d batch jobs failed", s.Failed))
+			return fmt.Errorf("workers=%d: %d batch jobs failed", w, s.Failed)
 		}
 		if base == 0 {
 			base = d
@@ -521,10 +543,11 @@ func expBatch() {
 	fmt.Println("speedup tracks available cores; on a single-core host the pool")
 	fmt.Println("degenerates gracefully to sequential cost.")
 	fmt.Println()
+	return nil
 }
 
 // timeTransformOpt is timeTransform with explicit driver options.
-func timeTransformOpt(g *cfg.Graph, opt core.Options) (time.Duration, core.Stats) {
+func timeTransformOpt(g *cfg.Graph, opt core.Options) (time.Duration, core.Stats, error) {
 	best := time.Duration(math.MaxInt64)
 	var st core.Stats
 	reps := 3
@@ -536,18 +559,18 @@ func timeTransformOpt(g *cfg.Graph, opt core.Options) (time.Duration, core.Stats
 		_, s, err := core.Transform(g, opt)
 		d := time.Since(start)
 		if err != nil {
-			panic(err)
+			return 0, core.Stats{}, err
 		}
 		if d < best {
 			best, st = d, s
 		}
 	}
-	return best, st
+	return best, st, nil
 }
 
 // --- C8: liveness pressure ------------------------------------------------
 
-func expPressure() {
+func expPressure() error {
 	fmt.Println("## C8 — liveness pressure (register-pressure proxy) before/after pde")
 	fmt.Println()
 	fmt.Println("The paper's delayability descends from lcm's, whose purpose was")
@@ -574,7 +597,7 @@ func expPressure() {
 			g := progen.Generate(params)
 			opt, _, err := core.PDE(g)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s seed=%d: %w", c.name, s, err)
 			}
 			before := analysis.Pressure(g)
 			after := analysis.Pressure(opt)
@@ -591,4 +614,5 @@ func expPressure() {
 		fmt.Printf("| %s | %.2f | %.2f | %d | %d |\n", c.name, mb/k, ma/k, pb, pa)
 	}
 	fmt.Println()
+	return nil
 }

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,16 @@ var (
 	inputs    = flag.String("input", "", "comma-separated initial store for -exec, e.g. n=100,base=7")
 	fuel      = flag.Int("fuel", 0, "block-visit bound for -exec (0 = default)")
 	workers   = flag.Int("workers", 0, "concurrent optimizations in batch (multi-file) mode, 0 = GOMAXPROCS")
+
+	// Failure-containment flags (pde/pfe only). All failure modes
+	// degrade to a usable program: the watchdog returns the best
+	// phase-boundary result, verified mode rolls back to the last
+	// verified one, a panic returns the input unchanged. The process
+	// still exits non-zero so scripts notice the degradation.
+	timeout     = flag.Duration("timeout", 0, "wall-clock bound for the whole run; on expiry the best result so far is printed (0 = none)")
+	roundBudget = flag.Duration("round-budget", 0, "watchdog bound per fixpoint round (0 = none)")
+	verified    = flag.Bool("verified", false, "check every round against the input with the semantics oracle, rolling back on mismatch")
+	reproDir    = flag.String("repro-dir", "", "directory for repro bundles of contained optimizer panics")
 )
 
 func main() {
@@ -88,8 +99,15 @@ func run() error {
 	}
 
 	opt, st, err := transform(prog)
-	if err != nil {
+	if err != nil && opt == nil {
 		return err
+	}
+	degraded := err
+	if degraded != nil {
+		// A contained failure: opt is the degraded result (the best
+		// partial program, or the input unchanged). Print it anyway
+		// and exit non-zero afterwards.
+		fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", progName, degraded)
 	}
 	if *passes != "" {
 		opt, err = prog.Passes(strings.Split(*passes, ",")...)
@@ -128,6 +146,9 @@ func run() error {
 		fmt.Print(opt.DOT())
 	default:
 		return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
+	}
+	if degraded != nil {
+		return fmt.Errorf("completed with a degraded result")
 	}
 	return nil
 }
@@ -209,18 +230,8 @@ func runBatch(paths []string) error {
 		return fmt.Errorf("batch mode does not support -passes, -exec, -verify, or -trace")
 	}
 
-	m := pdce.Dead
-	if *mode == "pfe" {
-		m = pdce.Faint
-	}
-	o := pdce.Options{Mode: m, MaxRounds: *maxRounds, KeepSynthetic: *keepSynth}
-	if *hot != "" {
-		set := map[string]bool{}
-		for _, l := range strings.Split(*hot, ",") {
-			set[strings.TrimSpace(l)] = true
-		}
-		o.Hot = func(label string) bool { return set[label] }
-	}
+	o, cancel := pdeOptions()
+	defer cancel()
 
 	// Parse everything first; a parse failure must not stop the
 	// other programs from being optimized.
@@ -259,7 +270,12 @@ func runBatch(paths []string) error {
 		if r.Err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", path, r.Err)
-			continue
+			if r.Program == nil {
+				continue
+			}
+			// A contained failure left a degraded result (partial
+			// optimization or the unchanged input): print it like any
+			// other program, under the warning above.
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "%s: blocks: %d -> %d   statements: %d -> %d   rounds: %d   eliminated: %d   inserted: %d\n",
@@ -282,6 +298,39 @@ func runBatch(paths []string) error {
 		return fmt.Errorf("%d of %d programs failed", failed, len(order))
 	}
 	return nil
+}
+
+// pdeOptions assembles the pde/pfe options shared by single-file and
+// batch mode from the flag set. The returned cancel function releases
+// the -timeout context (a no-op when none is set) and must be called
+// when the run is done.
+func pdeOptions() (pdce.Options, context.CancelFunc) {
+	m := pdce.Dead
+	if *mode == "pfe" {
+		m = pdce.Faint
+	}
+	o := pdce.Options{
+		Mode:          m,
+		MaxRounds:     *maxRounds,
+		KeepSynthetic: *keepSynth,
+		RoundBudget:   *roundBudget,
+		Verify:        *verified,
+		ReproDir:      *reproDir,
+	}
+	if *hot != "" {
+		set := map[string]bool{}
+		for _, l := range strings.Split(*hot, ",") {
+			set[strings.TrimSpace(l)] = true
+		}
+		o.Hot = func(label string) bool { return set[label] }
+	}
+	cancel := context.CancelFunc(func() {})
+	if *timeout > 0 {
+		var ctx context.Context
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		o.Context = ctx
+	}
+	return o, cancel
 }
 
 // progBase derives a program name from a file path.
@@ -344,22 +393,8 @@ func detect(src string) string {
 func transform(prog *pdce.Program) (*pdce.Program, *pdce.Stats, error) {
 	switch *mode {
 	case "pde", "pfe":
-		m := pdce.Dead
-		if *mode == "pfe" {
-			m = pdce.Faint
-		}
-		o := pdce.Options{
-			Mode:          m,
-			MaxRounds:     *maxRounds,
-			KeepSynthetic: *keepSynth,
-		}
-		if *hot != "" {
-			set := map[string]bool{}
-			for _, l := range strings.Split(*hot, ",") {
-				set[strings.TrimSpace(l)] = true
-			}
-			o.Hot = func(label string) bool { return set[label] }
-		}
+		o, cancel := pdeOptions()
+		defer cancel()
 		if *trace {
 			o.Observe = func(round int, phase string, changed bool, snapshot string) {
 				if !changed {
@@ -369,9 +404,11 @@ func transform(prog *pdce.Program) (*pdce.Program, *pdce.Stats, error) {
 				fmt.Fprintf(os.Stderr, "-- round %d %s:\n%s", round, phase, snapshot)
 			}
 		}
-		opt, st, err := prog.Optimize(o)
+		opt, st, err := prog.SafeOptimize(o)
 		if err != nil {
-			return nil, nil, err
+			// SafeOptimize always hands back a usable program; the
+			// caller prints it and reports the degradation.
+			return opt, &st, err
 		}
 		return opt, &st, nil
 	case "dce":

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"pdce"
+	"pdce/internal/faultinject"
 )
 
 func TestDetect(t *testing.T) {
@@ -207,5 +209,74 @@ func TestRunBatchEndToEnd(t *testing.T) {
 	os.Stdout = oldStdout
 	if err == nil || !strings.Contains(err.Error(), "1 of 2 programs failed") {
 		t.Errorf("batch with a bad file returned %v", err)
+	}
+}
+
+// TestTransformDegradedOnPanic checks the single-file path's
+// containment: an injected optimizer panic must surface as a non-nil
+// error *plus* a usable program — the input unchanged — so run() can
+// still print something and exit non-zero.
+func TestTransformDegradedOnPanic(t *testing.T) {
+	restore := faultinject.Set(func(p faultinject.Point, _ any) {
+		if p == faultinject.EliminatePhase {
+			panic("injected cli fault")
+		}
+	})
+	defer restore()
+
+	prog, err := pdce.ParseSource("t", "y := a+b\nif * { y := c }\nout(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMode(t, "pde", func() {
+		opt, _, err := transform(prog)
+		if err == nil {
+			t.Fatal("injected panic not reported")
+		}
+		if !errors.Is(err, pdce.ErrPanic) {
+			t.Errorf("error does not match ErrPanic: %v", err)
+		}
+		if opt == nil || opt.Format() != prog.Format() {
+			t.Error("degraded result is not the unchanged input")
+		}
+	})
+}
+
+// TestRunBatchDegradedJob checks that a job whose optimization panics
+// still prints its (unchanged) program under its header while the exit
+// status reports the failure.
+func TestRunBatchDegradedJob(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.while")
+	victim := filepath.Join(dir, "victim.while")
+	os.WriteFile(good, []byte("x := a+b\nif * { out(x) }\n"), 0o644)
+	os.WriteFile(victim, []byte("y := 1\nout(2)\n"), 0o644)
+
+	restore := faultinject.Set(func(p faultinject.Point, payload any) {
+		if p == faultinject.BatchJob && payload == "victim" {
+			panic("injected batch cli fault")
+		}
+	})
+	defer restore()
+
+	oldStdout := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	err := runBatch([]string{good, victim})
+	w.Close()
+	os.Stdout = oldStdout
+	var buf strings.Builder
+	io.Copy(&buf, r)
+	out := buf.String()
+
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 programs failed") {
+		t.Errorf("degraded batch returned %v", err)
+	}
+	if !strings.Contains(out, "==> "+good) || !strings.Contains(out, "==> "+victim) {
+		t.Errorf("batch output misses a header: %q", out)
+	}
+	// The victim's degraded (unchanged) program must still be printed.
+	if !strings.Contains(out, "out(2)") {
+		t.Errorf("degraded program not printed: %q", out)
 	}
 }

@@ -95,6 +95,12 @@ func NewDeadSolver(g *cfg.Graph, vars *ir.VarTable) *DeadSolver {
 	return s
 }
 
+// SetCancel installs a cancellation check on the underlying worklist
+// solver (see dataflow.Solver.SetCancel). A cancelled Solve returns a
+// partial result flagged Stats.Cancelled that must not justify any
+// elimination.
+func (s *DeadSolver) SetCancel(cancel func() bool) { s.solver.SetCancel(cancel) }
+
 // Solve re-solves after the given blocks changed, reusing the previous
 // round's solution outside the affected region (the dirty blocks and
 // their transitive predecessors — deadness flows backward). A nil

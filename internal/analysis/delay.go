@@ -159,6 +159,12 @@ func NewDelaySolver(g *cfg.Graph, pt *ir.PatternTable) *DelaySolver {
 // Locals exposes the solver's local predicates (kept current by Solve).
 func (s *DelaySolver) Locals() *Locals { return s.locals }
 
+// SetCancel installs a cancellation check on the underlying worklist
+// solver (see dataflow.Solver.SetCancel). A cancelled Solve returns a
+// partial result flagged Stats.Cancelled that must not justify any
+// sinking.
+func (s *DelaySolver) SetCancel(cancel func() bool) { s.solver.SetCancel(cancel) }
+
 // Solve re-solves after the given blocks changed: their local
 // predicates are recomputed, the fixpoint is re-seeded over the
 // affected region, and the insertion predicates are refreshed. A nil
@@ -176,6 +182,13 @@ func (s *DelaySolver) Solve(dirty []cfg.NodeID) *DelayResult {
 	}
 	sol := s.solver.Resolve(dirty)
 	s.res.Stats = sol.Stats
+	if sol.Stats.Cancelled {
+		// The partial solution justifies nothing: leave the
+		// insertion predicates stale and force the next solve to
+		// start from scratch.
+		s.solved = false
+		return &s.res
+	}
 	computeInserts(s.g, &s.res)
 	return &s.res
 }

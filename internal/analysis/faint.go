@@ -35,6 +35,12 @@ type FaintResult struct {
 	// SlotUpdates counts worklist slot processings — the quantity
 	// Section 6.1.2 bounds by O(i·v).
 	SlotUpdates int
+
+	// Cancelled reports that the solve was interrupted before
+	// reaching the fixpoint. A cancelled solution is partial — still
+	// above the greatest fixpoint — and must not justify any
+	// elimination.
+	Cancelled bool
 }
 
 // FaintVars solves the faint-variable analysis on g with the slotwise
@@ -45,6 +51,14 @@ func FaintVars(g *cfg.Graph) *FaintResult {
 
 // FaintVarsWith is FaintVars over a caller-chosen variable universe.
 func FaintVarsWith(g *cfg.Graph, vars *ir.VarTable) *FaintResult {
+	return FaintVarsCancel(g, vars, nil)
+}
+
+// FaintVarsCancel is FaintVarsWith with a cancellation check consulted
+// periodically while the slot worklist drains; when it returns true
+// the solve stops early and the result comes back flagged Cancelled.
+// A nil cancel solves to the fixpoint unconditionally.
+func FaintVarsCancel(g *cfg.Graph, vars *ir.VarTable, cancel func() bool) *FaintResult {
 	fp := dataflow.Flatten(g)
 	nv := vars.Len()
 	ni := fp.Len()
@@ -145,6 +159,10 @@ func FaintVarsWith(g *cfg.Graph, vars *ir.VarTable) *FaintResult {
 	}
 
 	for len(queue) > 0 {
+		if cancel != nil && r.SlotUpdates%256 == 0 && cancel() {
+			r.Cancelled = true
+			return r
+		}
 		s := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		queued[s.i*nv+s.x] = false

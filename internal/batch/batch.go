@@ -7,14 +7,26 @@
 // job order regardless of completion order. This is the engine behind
 // pdce.OptimizeAll, the multi-file mode of cmd/pdce, and the batch
 // throughput experiment of cmd/benchpaper.
+//
+// The pool is fault-isolated per job: a panic inside one optimization
+// is recovered in the worker (core.SafeTransform) and reported as that
+// job's *core.PanicError without taking down the pool or any other
+// job. Cancelling the context stops dispatch — jobs not yet started
+// report the context's error, in-flight jobs are interrupted through
+// the driver's watchdog and report their best phase-boundary graph —
+// and RunContext still returns a fully-populated, in-order result
+// slice.
 package batch
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"pdce/internal/cfg"
 	"pdce/internal/core"
+	"pdce/internal/faultinject"
 )
 
 // Job is one program to optimize.
@@ -34,15 +46,28 @@ type Job struct {
 // Result is the outcome of one job. Results preserve job order.
 type Result struct {
 	Name  string
-	Graph *cfg.Graph // nil when Err is non-nil
+	Graph *cfg.Graph // nil when Err is non-nil, except partial results
 	Stats core.Stats
 	Err   error
 }
 
 // Run optimizes every job using at most workers concurrent
+// optimizations. It is RunContext with a background context.
+func Run(jobs []Job, workers int) []Result {
+	return RunContext(context.Background(), jobs, workers)
+}
+
+// RunContext optimizes every job using at most workers concurrent
 // optimizations. workers <= 0 selects GOMAXPROCS; the pool never
 // exceeds the number of jobs. The returned slice is indexed like jobs.
-func Run(jobs []Job, workers int) []Result {
+//
+// ctx bounds the whole batch: once it is cancelled no further job is
+// started — skipped jobs report ctx.Err() — and it is forwarded to
+// every job whose options carry no context of their own, so in-flight
+// runs wind down through the driver's watchdog (their results carry an
+// *core.InterruptError plus the best graph reached). RunContext always
+// drains the pool before returning; no worker outlives the call.
+func RunContext(ctx context.Context, jobs []Job, workers int) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -61,18 +86,45 @@ func Run(jobs []Job, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				g, st, err := core.Transform(j.Graph, j.Options)
-				results[i] = Result{Name: j.Name, Graph: g, Stats: st, Err: err}
+				results[i] = runJob(ctx, jobs[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark this and every remaining job untouched; the
+			// workers drain naturally once the channel closes.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Name: jobs[j].Name, Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return results
+}
+
+// runJob executes one job with panic containment: a panic anywhere in
+// the run — including the fault-injection point, which fires inside
+// the contained region so an injected panic takes the same recovery
+// path a real one would — becomes that job's *core.PanicError.
+func runJob(ctx context.Context, j Job) (res Result) {
+	res.Name = j.Name
+	defer func() {
+		if v := recover(); v != nil {
+			res.Graph, res.Err = nil, &core.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if j.Options.Ctx == nil {
+		j.Options.Ctx = ctx
+	}
+	faultinject.Fire(faultinject.BatchJob, j.Name)
+	res.Graph, res.Stats, res.Err = core.Transform(j.Graph, j.Options)
+	return res
 }
 
 // Summary aggregates a result set.

@@ -1,11 +1,14 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
 	"pdce/internal/cfg"
 	"pdce/internal/core"
+	"pdce/internal/faultinject"
 	"pdce/internal/parser"
 	"pdce/internal/progen"
 )
@@ -76,5 +79,111 @@ func TestRunWorkerClamping(t *testing.T) {
 				t.Fatalf("workers=%d job %d: %v", w, i, r.Err)
 			}
 		}
+	}
+}
+
+// TestRunJobPanicContainment injects a panic into one job and checks
+// the pool survives: the panicking job reports a *core.PanicError with
+// the panic value and stack, every other job completes normally.
+func TestRunJobPanicContainment(t *testing.T) {
+	restore := faultinject.Set(func(p faultinject.Point, payload any) {
+		if p == faultinject.BatchJob && payload == "boom" {
+			panic("injected job fault")
+		}
+	})
+	defer restore()
+
+	jobs := []Job{
+		{Name: "ok0", Graph: goodGraph(0), Options: core.Options{Mode: core.ModeDead}},
+		{Name: "boom", Graph: goodGraph(1), Options: core.Options{Mode: core.ModeDead}},
+		{Name: "ok1", Graph: goodGraph(2), Options: core.Options{Mode: core.ModeFaint}},
+	}
+	results := Run(jobs, 3)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	var pe *core.PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panicking job error = %v, want *core.PanicError", results[1].Err)
+	}
+	if pe.Value != "injected job fault" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	if results[1].Graph != nil {
+		t.Error("panicking job carries a graph")
+	}
+}
+
+// TestRunContextCancellation cancels a batch mid-run: two jobs are held
+// in flight by the injection hook while the rest wait for dispatch.
+// After cancellation the pool must drain — the in-flight jobs wind down
+// through the driver's watchdog and report partial results, the
+// untouched jobs report context.Canceled — and RunContext must return a
+// fully populated, in-order result slice.
+func TestRunContextCancellation(t *testing.T) {
+	const njobs = 8
+	const workers = 2
+
+	started := make(chan struct{}, njobs)
+	release := make(chan struct{})
+	restore := faultinject.Set(func(p faultinject.Point, _ any) {
+		if p == faultinject.BatchJob {
+			started <- struct{}{}
+			<-release
+		}
+	})
+	defer restore()
+
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprint(i), Graph: goodGraph(int64(i)), Options: core.Options{Mode: core.ModeDead}}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan []Result, 1)
+	go func() { done <- RunContext(ctx, jobs, workers) }()
+
+	// Both workers are now holding a job inside the hook; the
+	// dispatcher is blocked offering the third. Cancel, then let the
+	// in-flight jobs proceed into the (already expired) watchdog.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	results := <-done
+
+	if len(results) != njobs {
+		t.Fatalf("got %d results for %d jobs", len(results), njobs)
+	}
+	var inflight, untouched int
+	for i, r := range results {
+		if r.Name != jobs[i].Name {
+			t.Errorf("result %d is %q, want %q", i, r.Name, jobs[i].Name)
+		}
+		switch {
+		case r.Graph != nil:
+			// An in-flight job: interrupted at a phase boundary with
+			// its best graph, or finished before the cancellation won
+			// the race. Either way the result must be coherent.
+			inflight++
+			if r.Err != nil && !core.Partial(r.Err) {
+				t.Errorf("job %d: graph alongside non-partial error %v", i, r.Err)
+			}
+		default:
+			untouched++
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("job %d: err = %v, want context.Canceled", i, r.Err)
+			}
+		}
+	}
+	if inflight != workers {
+		t.Errorf("%d in-flight results, want %d", inflight, workers)
+	}
+	if untouched != njobs-workers {
+		t.Errorf("%d untouched results, want %d", untouched, njobs-workers)
 	}
 }

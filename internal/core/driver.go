@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pdce/internal/analysis"
 	"pdce/internal/cfg"
+	"pdce/internal/faultinject"
 )
 
 // Mode selects the elimination power of the driver.
@@ -69,6 +72,31 @@ type Options struct {
 	// Snapshotting clones the graph, so leave this nil in
 	// performance-sensitive runs.
 	Observe func(PhaseEvent)
+
+	// Ctx, when non-nil, bounds the run: when it is cancelled or its
+	// deadline expires, the fixpoint iteration stops at the next
+	// checkpoint (a phase boundary, or mid-solve via the solvers'
+	// cancellation hook) and Transform returns the best
+	// phase-boundary graph reached so far together with an
+	// *InterruptError. The graph is correct — every phase boundary
+	// is — just possibly short of the optimum.
+	Ctx context.Context
+
+	// RoundBudget, when positive, bounds each eliminate+sink round's
+	// wall-clock time. A round that exceeds it is abandoned the same
+	// way a context expiry is. Ctx and RoundBudget compose; either
+	// alone activates the watchdog.
+	RoundBudget time.Duration
+
+	// RoundCheck, when non-nil, is invoked after every completed
+	// round with the current working graph (synthetic nodes still
+	// present) and the 1-based round number. A non-nil return stops
+	// the run: Transform rolls back to the last graph the check
+	// accepted (the untransformed input when round 1 fails) and
+	// returns it with a *RoundCheckError. This is the hook behind
+	// verified mode: the caller supplies a semantics oracle
+	// comparing the intermediate graph against the original input.
+	RoundCheck func(g *cfg.Graph, round int) error
 }
 
 // PhaseEvent describes one completed phase of the fixpoint iteration.
@@ -146,6 +174,11 @@ func roundCap(g *cfg.Graph) int {
 // sinking step start from a minimal program; the fixpoint is
 // independent of this order (Theorem 3.7: any chaotic iteration that
 // applies both transformations sufficiently often reaches the optimum).
+//
+// Two error classes come with a non-nil, usable graph (Partial
+// reports them): an *InterruptError carries the best phase-boundary
+// program the watchdog allowed, a *RoundCheckError the last program
+// Options.RoundCheck accepted. All other errors return a nil graph.
 func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	if errs := cfg.Validate(g); len(errs) > 0 {
 		return nil, Stats{}, fmt.Errorf("core: invalid input graph: %s", errs[0])
@@ -158,11 +191,11 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 
 	var err error
 	if opt.Hot != nil || opt.NoIncremental {
-		err = runReference(out, opt, &st)
+		out, err = runReference(out, opt, &st)
 	} else {
-		err = runIncremental(out, opt, &st)
+		out, err = runIncremental(out, opt, &st)
 	}
-	if err != nil {
+	if err != nil && !Partial(err) {
 		return nil, st, err
 	}
 
@@ -173,14 +206,16 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	if errs := cfg.Validate(out); len(errs) > 0 {
 		return nil, st, fmt.Errorf("core: %s produced invalid graph: %s", opt.Mode, errs[0])
 	}
-	return out, st, nil
+	return out, st, err
 }
 
 // runReference is the from-scratch driver loop: each phase rebuilds its
 // universes and re-solves its analysis on the current program. It is
 // the semantic reference for runIncremental and the only driver that
-// supports hot-region localization.
-func runReference(out *cfg.Graph, opt Options, st *Stats) error {
+// supports hot-region localization. The returned graph is out itself,
+// except after a verification rollback (the last accepted snapshot) or
+// a watchdog interrupt under verification (ditto).
+func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 	var hot HotPredicate
 	if opt.Hot != nil {
 		hot = effectiveHot(opt.Hot)
@@ -204,13 +239,20 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) error {
 		return Sink(out)
 	}
 
+	wd := newWatchdog(opt)
+	rv := newRoundVerifier(opt, out)
 	limit := roundCap(out)
 	for {
+		if wd.expired() {
+			return rv.best(out), wd.interrupt(st.Rounds, "round")
+		}
 		st.Rounds++
+		wd.startRound()
 		if st.Rounds > limit {
-			return errNoFixpoint(opt.Mode, limit)
+			return nil, errNoFixpoint(opt.Mode, limit)
 		}
 
+		faultinject.Fire(faultinject.EliminatePhase, out)
 		e := eliminate()
 		st.Eliminated += e.Removed
 		st.ElimSolverWork += e.SolverWork
@@ -221,11 +263,15 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) error {
 				Graph: out.Clone(),
 			})
 		}
+		if wd.expired() {
+			return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
+		}
 
 		s := sink()
 		st.Inserted += s.InsertedEntry + s.InsertedExit
 		st.SinkRemoved += s.RemovedCandidates
 		st.SinkSolverWork += s.SolverVisits
+		faultinject.Fire(faultinject.SinkPhase, out)
 		if opt.Observe != nil {
 			opt.Observe(PhaseEvent{
 				Round: st.Rounds, Phase: "sink",
@@ -239,11 +285,15 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) error {
 			st.PeakStmts = n
 		}
 
-		if !e.Changed() && !s.Changed() {
-			return nil
+		changed := e.Changed() || s.Changed()
+		if good, err := rv.verifyRound(out, st.Rounds, changed); err != nil {
+			return good, err
+		}
+		if !changed {
+			return out, nil
 		}
 		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
-			return nil
+			return out, nil
 		}
 	}
 }
@@ -292,15 +342,21 @@ func (d *dirtySet) take() []cfg.NodeID {
 // solution is cached and reused whenever a round begins with no
 // pending mutations (the common tail of long runs, where sinking has
 // stabilized and elimination finds nothing).
-func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
+func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 	vars := out.CollectVars()
 	pt := out.CollectPatterns()
 
+	wd := newWatchdog(opt)
+	rv := newRoundVerifier(opt, out)
+	cancel := wd.checkFunc()
+
 	delay := analysis.NewDelaySolver(out, pt)
+	delay.SetCancel(cancel)
 	var deadSolver *analysis.DeadSolver
 	var faintRes *analysis.FaintResult
 	if opt.Mode == ModeDead {
 		deadSolver = analysis.NewDeadSolver(out, vars)
+		deadSolver.SetCancel(cancel)
 	}
 
 	// pendElim holds blocks changed since the elimination analysis
@@ -317,15 +373,24 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
 
 	limit := roundCap(out)
 	for {
+		if wd.expired() {
+			return rv.best(out), wd.interrupt(st.Rounds, "round")
+		}
 		st.Rounds++
+		wd.startRound()
 		if st.Rounds > limit {
-			return errNoFixpoint(opt.Mode, limit)
+			return nil, errNoFixpoint(opt.Mode, limit)
 		}
 
+		faultinject.Fire(faultinject.EliminatePhase, out)
 		var e ElimStats
 		if opt.Mode == ModeFaint {
 			if faintRes == nil || !pendElim.empty() {
-				faintRes = analysis.FaintVarsWith(out, vars)
+				faintRes = analysis.FaintVarsCancel(out, vars, cancel)
+				if faintRes.Cancelled {
+					faintRes = nil
+					return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
+				}
 				pendElim.take()
 				e = eliminateFaintSolved(out, faintRes, onChange)
 			} else {
@@ -334,6 +399,9 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
 			}
 		} else {
 			res := deadSolver.Solve(pendElim.take())
+			if res.Stats.Cancelled {
+				return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
+			}
 			e = eliminateDeadSolved(out, res, onChange)
 		}
 		st.Eliminated += e.Removed
@@ -350,11 +418,18 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
 			faintRes = nil
 		}
 
+		if wd.expired() {
+			return rv.best(out), wd.interrupt(st.Rounds, "sink")
+		}
 		dres := delay.Solve(pendSink.take())
+		if dres.Stats.Cancelled {
+			return rv.best(out), wd.interrupt(st.Rounds, "sink")
+		}
 		s := applySink(out, pt, delay.Locals(), dres, onChange)
 		st.Inserted += s.InsertedEntry + s.InsertedExit
 		st.SinkRemoved += s.RemovedCandidates
 		st.SinkSolverWork += s.SolverVisits
+		faultinject.Fire(faultinject.SinkPhase, out)
 		if opt.Observe != nil {
 			opt.Observe(PhaseEvent{
 				Round: st.Rounds, Phase: "sink",
@@ -371,11 +446,15 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) error {
 			st.PeakStmts = n
 		}
 
-		if !e.Changed() && !s.Changed() {
-			return nil
+		changed := e.Changed() || s.Changed()
+		if good, err := rv.verifyRound(out, st.Rounds, changed); err != nil {
+			return good, err
+		}
+		if !changed {
+			return out, nil
 		}
 		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
-			return nil
+			return out, nil
 		}
 	}
 }

@@ -24,6 +24,7 @@ package dataflow
 import (
 	"pdce/internal/bitvec"
 	"pdce/internal/cfg"
+	"pdce/internal/faultinject"
 )
 
 // Direction of a dataflow problem.
@@ -100,6 +101,11 @@ type SolverStats struct {
 	// all nodes for a full solve, only the affected region for an
 	// incremental one.
 	Seeded int
+	// Cancelled reports that the solve was interrupted by the
+	// solver's cancellation check before reaching the fixpoint. A
+	// cancelled solution is PARTIAL — still above the greatest
+	// fixpoint — and must not justify any transformation.
+	Cancelled bool
 }
 
 // Solve computes the fixpoint of p on g with a worklist algorithm.
@@ -137,7 +143,21 @@ type Solver struct {
 	queue    []*cfg.Node
 	affected []bool // scratch for Resolve's region marking
 	solved   bool
+
+	cancel func() bool
 }
+
+// SetCancel installs a cancellation check consulted periodically while
+// the worklist drains (every cancelCheckStride visits — cheap enough
+// for time-based watchdogs). When it returns true the solve stops
+// early: the result is marked Cancelled, is not a fixpoint, and must
+// be discarded; the solver re-solves in full on its next use.
+func (s *Solver) SetCancel(cancel func() bool) { s.cancel = cancel }
+
+// cancelCheckStride is how many node visits pass between cancellation
+// checks. Small enough that a watchdog fires promptly even on huge
+// graphs, large enough to keep the check off the profile.
+const cancelCheckStride = 64
 
 // NewSolver creates a solver for p on g. No solving happens yet.
 func NewSolver(g *cfg.Graph, p VectorProblem) *Solver {
@@ -181,7 +201,7 @@ func (s *Solver) Full() *Result {
 	}
 	s.res.Stats = SolverStats{Seeded: len(s.queue)}
 	s.run()
-	s.solved = true
+	s.solved = !s.res.Stats.Cancelled
 	return &s.res
 }
 
@@ -252,6 +272,9 @@ func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
 	s.applyBoundary()
 	s.res.Stats = SolverStats{Seeded: len(s.queue)}
 	s.run()
+	if s.res.Stats.Cancelled {
+		s.solved = false
+	}
 	return &s.res
 }
 
@@ -281,9 +304,21 @@ func (s *Solver) run() {
 	}
 
 	for head := 0; head < len(s.queue); head++ {
+		if s.cancel != nil && head%cancelCheckStride == 0 && s.cancel() {
+			// Abandon the solve: un-queue the pending nodes so
+			// the flags stay consistent for the next (full)
+			// solve, and mark the result partial.
+			for _, pending := range s.queue[head:] {
+				s.inQueue[pending.ID] = false
+			}
+			s.queue = s.queue[:0]
+			res.Stats.Cancelled = true
+			return
+		}
 		node := s.queue[head]
 		s.inQueue[node.ID] = false
 		res.Stats.NodeVisits++
+		faultinject.Fire(faultinject.SolverVisit, nil)
 
 		if s.forward {
 			// Meet predecessors into In (except at Start,

@@ -39,7 +39,10 @@
 package pdce
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"pdce/internal/baseline"
 	"pdce/internal/batch"
@@ -74,7 +77,7 @@ type Program struct {
 func ParseCFG(src string) (*Program, error) {
 	g, err := parser.ParseCFG(src)
 	if err != nil {
-		return nil, err
+		return nil, &ParseError{Name: "cfg input", Err: err}
 	}
 	return &Program{g: g}, nil
 }
@@ -88,7 +91,7 @@ func ParseCFG(src string) (*Program, error) {
 func ParseSource(name, src string) (*Program, error) {
 	g, err := parser.ParseSource(name, src)
 	if err != nil {
-		return nil, err
+		return nil, &ParseError{Name: name, Err: err}
 	}
 	return &Program{g: g}, nil
 }
@@ -161,6 +164,30 @@ type Options struct {
 	// eliminate/sink phase with a rendered snapshot of the
 	// intermediate program — a window onto the second-order effects.
 	Observe func(round int, phase string, changed bool, snapshot string)
+
+	// Context, when non-nil, bounds the run: cancellation or deadline
+	// expiry stops the fixpoint iteration at the next phase boundary
+	// and returns the best program reached alongside a *DeadlineError.
+	Context context.Context
+	// RoundBudget, when positive, is a watchdog on each individual
+	// eliminate+sink round: a round exceeding it stops the run the
+	// same way an expired Context does. It catches stalls (a wedged
+	// analysis) that a generous overall deadline would let run on.
+	RoundBudget time.Duration
+	// Verify enables verified mode: after every round the intermediate
+	// program is checked against the input by the decision-enumeration
+	// oracle on a bounded execution sample. A rejected round rolls the
+	// result back to the last verified program and reports a
+	// *MiscompileError. Costs roughly one interpreter sweep per round.
+	Verify bool
+	// VerifyRuns bounds the per-round execution sample of verified
+	// mode (0 = a small default).
+	VerifyRuns int
+	// ReproDir, when non-empty, is where SafeOptimize and OptimizeAll
+	// write repro bundles for contained panics. The directory is
+	// created if missing; bundle write failures are reported in the
+	// *PanicError, never as a separate failure.
+	ReproDir string
 }
 
 // Stats reports what an optimization run did.
@@ -206,6 +233,8 @@ func (o Options) coreOptions() core.Options {
 		MaxRounds:     o.MaxRounds,
 		KeepSynthetic: o.KeepSynthetic,
 		NoIncremental: o.NoIncremental,
+		Ctx:           o.Context,
+		RoundBudget:   o.RoundBudget,
 	}
 	if o.Hot != nil {
 		hot := o.Hot
@@ -222,9 +251,26 @@ func (o Options) coreOptions() core.Options {
 
 // Optimize runs partial dead (faint) code elimination and returns the
 // optimized program.
+//
+// Errors follow the taxonomy in errors.go: watchdog stops
+// (Options.Context, Options.RoundBudget) and verified-mode rollbacks
+// (Options.Verify) return a non-nil partial Program — the best correct
+// result reached — together with a *DeadlineError or *MiscompileError;
+// any other error returns a nil Program. SafeOptimize additionally
+// contains panics and never returns nil.
 func (p *Program) Optimize(o Options) (*Program, Stats, error) {
-	g, st, err := core.Transform(p.g, o.coreOptions())
+	copt := o.coreOptions()
+	if o.Verify {
+		copt.RoundCheck = verifyRoundCheck(p.g, o.VerifyRuns)
+	}
+	g, st, err := core.Transform(p.g, copt)
 	if err != nil {
+		err = mapCoreError(err)
+		if g != nil {
+			// Watchdog or rollback: the graph is the best correct
+			// partial result, surfaced alongside the error.
+			return &Program{g: g}, fromCoreStats(st), err
+		}
 		return nil, Stats{}, err
 	}
 	return &Program{g: g}, fromCoreStats(st), nil
@@ -234,7 +280,11 @@ func (p *Program) Optimize(o Options) (*Program, Stats, error) {
 type BatchResult struct {
 	// Name is the program's name; results preserve input order.
 	Name string
-	// Program is the optimized program, nil when Err is non-nil.
+	// Program is the optimized program. With a non-nil Err it is the
+	// degraded result of the containment layer: the best partial
+	// program for ErrDeadline/ErrMiscompile, the unchanged input for
+	// ErrPanic, and nil only for jobs never started (a cancelled
+	// batch, Err matching the context's error).
 	Program *Program
 	Stats   Stats
 	Err     error
@@ -247,19 +297,46 @@ type BatchResult struct {
 // are shared across all runs and must be safe for concurrent use;
 // Observe additionally receives interleaved events from different
 // programs, so most batch callers leave it nil.
+//
+// The batch is fault-contained with SafeOptimize's semantics per job:
+// a panicking job is recovered (repro bundle in Options.ReproDir, if
+// set) and reports the input unchanged; watchdog and verified-mode
+// stops report partial programs. Cancelling Options.Context stops
+// dispatch — jobs not yet started report the context's error with a
+// nil Program — and the worker pool always drains before returning.
 func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
 	jobs := make([]batch.Job, len(programs))
-	copt := o.coreOptions()
 	for i, p := range programs {
+		copt := o.coreOptions()
+		if o.Verify {
+			copt.RoundCheck = verifyRoundCheck(p.g, o.VerifyRuns)
+		}
 		jobs[i] = batch.Job{Name: p.Name(), Graph: p.g, Options: copt}
 	}
-	res := batch.Run(jobs, workers)
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := batch.RunContext(ctx, jobs, workers)
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
-		out[i] = BatchResult{Name: r.Name, Err: r.Err}
-		if r.Err == nil {
+		out[i] = BatchResult{Name: r.Name}
+		if r.Graph != nil {
 			out[i].Program = &Program{g: r.Graph}
 			out[i].Stats = fromCoreStats(r.Stats)
+		}
+		if r.Err == nil {
+			continue
+		}
+		var pe *core.PanicError
+		switch {
+		case errors.As(r.Err, &pe):
+			e := &PanicError{Value: pe.Value, Stack: string(pe.Stack)}
+			e.Bundle, e.BundleErr = writeReproBundle(o.ReproDir, programs[i], o, pe.Value, pe.Stack)
+			out[i].Err = e
+			out[i].Program = programs[i] // degrade to the unchanged input
+		default:
+			out[i].Err = mapCoreError(r.Err)
 		}
 	}
 	return out
