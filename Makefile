@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry ci
 
 all: build
 
@@ -21,15 +21,29 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench PDEScaling -benchmem -benchtime 1x .
 
+# Machine-readable benchmark report: the reproduction experiments with
+# every measured data point written to BENCH_paper.json, diffable
+# across runs without scraping the markdown tables.
+bench-json:
+	$(GO) run ./cmd/benchpaper -quick -seeds 3 -json BENCH_paper.json > /dev/null
+
 # Fuzz smoke over the containment contract: SafeOptimize must never
 # panic and must always return a structurally valid program, whatever
 # the input and option combination.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSafeOptimize -fuzztime 20s .
 
+# Telemetry smoke: optimize the corpus with all collectors on and
+# validate every report against the golden schema (in-process via the
+# schema test, end-to-end via the CLI's -metrics-json and -explain).
+smoke-telemetry:
+	$(GO) test -run 'TestTelemetrySmoke|TestRunExplain|TestRunMetricsJSON|TestRunTraceJSON|TestRunBatchMetricsReport' . ./cmd/pdce
+	$(GO) run ./cmd/pdce -stats -metrics-json /dev/null -workers 2 testdata/corpus > /dev/null
+	$(GO) run ./cmd/pdce -explain sq testdata/corpus/stats.while | grep -q 'eliminated'
+
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
-# allocation budget guard), a benchmark smoke pass, and the
-# containment fuzz smoke.
-ci: vet build race bench fuzz
+# allocation budget guard), a benchmark smoke pass, the containment
+# fuzz smoke, and the telemetry smoke.
+ci: vet build race bench fuzz smoke-telemetry

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -52,7 +53,50 @@ var (
 	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, all")
 	quick   = flag.Bool("quick", false, "smaller sweeps")
 	seeds   = flag.Int("seeds", 5, "random seeds per configuration")
+	jsonOut = flag.String("json", "", "also write every measured data point as a machine-readable report to this file ('-' = stdout)")
 )
+
+// benchRecord is one measured data point of one experiment; the -json
+// report is the flat list of them, so downstream tooling can diff runs
+// without scraping the markdown tables.
+type benchRecord struct {
+	Exp     string             `json:"exp"`
+	Name    string             `json:"name"`
+	N       int                `json:"n,omitempty"`
+	NSPerOp int64              `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the -json payload: the run configuration plus every
+// record, in experiment order.
+type benchReport struct {
+	Quick      bool          `json:"quick"`
+	Seeds      int           `json:"seeds"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Records    []benchRecord `json:"records"`
+}
+
+var records []benchRecord
+
+// record captures one data point for the -json report. d is the
+// measured wall time where the experiment has one (0 otherwise).
+func record(exp, name string, n int, d time.Duration, metrics map[string]float64) {
+	records = append(records, benchRecord{Exp: exp, Name: name, N: n, NSPerOp: int64(d), Metrics: metrics})
+}
+
+func writeBenchJSON(path string) error {
+	rep := benchReport{Quick: *quick, Seeds: *seeds, GOMAXPROCS: runtime.GOMAXPROCS(0), Records: records}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
 
 func main() {
 	flag.Parse()
@@ -86,6 +130,14 @@ func main() {
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "benchpaper: unknown experiment %q\n", *expFlag)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		// Partial records from a failed experiment are still written;
+		// the exit status reports the failure either way.
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchpaper: -json: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -136,6 +188,13 @@ func expFigures() error {
 			verified = fmt.Sprintf("%d replays ok", rep.Executions)
 		}
 		fmt.Printf("| %d | %s | %s | %d | %d | %s |\n", f.Num, f.Title, status, st.Rounds, st.Eliminated, verified)
+		ok := 0.0
+		if status == "matches paper" && rep.OK() {
+			ok = 1
+		}
+		record("F", fmt.Sprintf("figure-%d", f.Num), 0, 0, map[string]float64{
+			"ok": ok, "rounds": float64(st.Rounds), "eliminated": float64(st.Eliminated),
+		})
 	}
 	fmt.Println()
 	return nil
@@ -189,8 +248,13 @@ func expScaling(mode core.Mode, id, label string) error {
 		fmt.Printf("| %d | %d | %v | %.1f | %.1f ns |\n",
 			n, blocks, med.Round(time.Microsecond), float64(rounds)/float64(*seeds),
 			float64(med.Nanoseconds())/float64(n))
+		record(id, label+"-scaling", n, med, map[string]float64{
+			"blocks": float64(blocks), "rounds_mean": float64(rounds) / float64(*seeds),
+		})
 	}
-	fmt.Printf("\nfitted exponent: time ~ n^%.2f (paper bound for realistic structured programs: O(n^2))\n\n", fitExponent(ns, ts))
+	exp := fitExponent(ns, ts)
+	fmt.Printf("\nfitted exponent: time ~ n^%.2f (paper bound for realistic structured programs: O(n^2))\n\n", exp)
+	record(id, label+"-fit", 0, 0, map[string]float64{"exponent": exp})
 	return nil
 }
 
@@ -215,6 +279,7 @@ func expPFERatio() error {
 		fmt.Printf("| %d | %v | %v | %.2f |\n",
 			n, dPDE.Round(time.Microsecond), dPFE.Round(time.Microsecond),
 			float64(dPFE)/float64(dPDE))
+		record("C2", "pfe-pde-ratio", n, dPFE, map[string]float64{"ratio": float64(dPFE) / float64(dPDE)})
 	}
 	fmt.Println()
 	return nil
@@ -244,6 +309,9 @@ func expGrowth() error {
 		}
 		fmt.Printf("| %d | %.3f | %.3f | %.3f |\n",
 			n, sum/float64(*seeds), max, shrink/float64(*seeds))
+		record("C3", "growth", n, 0, map[string]float64{
+			"w_mean": sum / float64(*seeds), "w_max": max, "shrink": shrink / float64(*seeds),
+		})
 	}
 	fmt.Println()
 	fmt.Println("paper: w is O(b) in the worst case but expected O(1) in practice — confirmed if the columns stay near 1.")
@@ -279,6 +347,9 @@ func expRounds() error {
 		fmt.Printf("| %d | %.1f | %.0f | %.1f | %.4f |\n",
 			n, sumD/float64(*seeds), maxD, sumF/float64(*seeds),
 			sumD/float64(*seeds)/float64(n))
+		record("C4", "rounds", n, 0, map[string]float64{
+			"r_pde_mean": sumD / float64(*seeds), "r_pde_max": maxD, "r_pfe_mean": sumF / float64(*seeds),
+		})
 	}
 	fmt.Println()
 	fmt.Println("paper: r is at most quadratic, conjectured linear; small constants here support the conjecture.")
@@ -357,6 +428,10 @@ func expPower() error {
 		fmt.Printf("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
 			w.name, 100*sav[0]/k, 100*sav[1]/k, 100*sav[2]/k, 100*sav[3]/k,
 			100*sav[4]/k, 100*sav[5]/k, 100*sav[6]/k)
+		record("C5", w.name, 0, 0, map[string]float64{
+			"dce": sav[0] / k, "fce": sav[1] / k, "dudce": sav[2] / k, "ssadce": sav[3] / k,
+			"pde1": sav[4] / k, "pde": sav[5] / k, "pfe": sav[6] / k,
+		})
 	}
 	fmt.Println()
 	return nil
@@ -407,6 +482,9 @@ func expSafety() error {
 			unionRuns += urep.Executions
 		}
 		fmt.Printf("| %s | %d | %d | %d |\n", c.name, pdeViol, unionViol, unionRuns)
+		record("C6", c.name, 0, 0, map[string]float64{
+			"pde_violations": float64(pdeViol), "union_violations": float64(unionViol),
+		})
 	}
 	fmt.Println("\npaper's guarantee: the pde column must be all zeros; the union ablation")
 	fmt.Println("demonstrates why the product confluence (justified insertions) is essential.")
@@ -459,6 +537,9 @@ func expHoist() error {
 		}
 		k := float64(len(w.graphs))
 		fmt.Printf("| %s | %.1f%% | %.1f%% | %d |\n", w.name, 100*sHoist/k, 100*sPDE/k, violations)
+		record("C7", w.name, 0, 0, map[string]float64{
+			"hoist_savings": sHoist / k, "pde_savings": sPDE / k, "violations": float64(violations),
+		})
 	}
 	fmt.Println()
 	fmt.Println("paper: hoisting-based assignment motion \"does not allow any elimination")
@@ -494,6 +575,7 @@ func expBatch() error {
 		fmt.Printf("| %d | %v | %v | %.1fx |\n",
 			n, ref.Round(time.Microsecond), inc.Round(time.Microsecond),
 			float64(ref)/float64(inc))
+		record("C9", "incremental", n, inc, map[string]float64{"speedup": float64(ref) / float64(inc)})
 	}
 	fmt.Println()
 
@@ -538,6 +620,9 @@ func expBatch() error {
 		fmt.Printf("| %d | %v | %.1f | %.2fx |\n",
 			w, d.Round(time.Millisecond),
 			float64(nProgs)/d.Seconds(), float64(base)/float64(d))
+		record("C9", "batch-throughput", w, d, map[string]float64{
+			"programs_per_s": float64(nProgs) / d.Seconds(), "speedup": float64(base) / float64(d),
+		})
 	}
 	fmt.Println()
 	fmt.Println("speedup tracks available cores; on a single-core host the pool")
@@ -612,6 +697,10 @@ func expPressure() error {
 		}
 		k := float64(*seeds)
 		fmt.Printf("| %s | %.2f | %.2f | %d | %d |\n", c.name, mb/k, ma/k, pb, pa)
+		record("C8", c.name, 0, 0, map[string]float64{
+			"mean_before": mb / k, "mean_after": ma / k,
+			"peak_before": float64(pb), "peak_after": float64(pa),
+		})
 	}
 	fmt.Println()
 	return nil

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -23,6 +26,49 @@ func TestFitExponent(t *testing.T) {
 	}
 	if k := fitExponent(ns, ts); math.Abs(k-1) > 1e-9 {
 		t.Errorf("linear fit = %f", k)
+	}
+}
+
+// TestBenchJSONReport runs the figure experiment with recording on and
+// checks the -json payload round-trips with populated records.
+func TestBenchJSONReport(t *testing.T) {
+	oldRecords, oldJSON := records, *jsonOut
+	defer func() { records, *jsonOut = oldRecords, oldJSON }()
+	records = nil
+	*jsonOut = filepath.Join(t.TempDir(), "bench.json")
+
+	oldStdout := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	err := expFigures()
+	os.Stdout = oldStdout
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchJSON(*jsonOut); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(*jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) == 0 {
+		t.Fatal("empty records")
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
+	}
+	for _, r := range rep.Records {
+		if r.Exp != "F" || r.Name == "" {
+			t.Fatalf("bad record %+v", r)
+		}
+		if r.Metrics["ok"] != 1 {
+			t.Errorf("figure %s does not match the paper in the report", r.Name)
+		}
 	}
 }
 

@@ -29,15 +29,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"pdce"
+	"pdce/internal/bitvec"
 )
 
 var (
@@ -66,6 +73,14 @@ var (
 	roundBudget = flag.Duration("round-budget", 0, "watchdog bound per fixpoint round (0 = none)")
 	verified    = flag.Bool("verified", false, "check every round against the input with the semantics oracle, rolling back on mismatch")
 	reproDir    = flag.String("repro-dir", "", "directory for repro bundles of contained optimizer panics")
+
+	// Observability flags (pde/pfe only, except the profiles).
+	explainVar  = flag.String("explain", "", "print the named variable's provenance journey through the optimization instead of the program")
+	traceJSON   = flag.String("trace-json", "", "write the provenance event stream as JSON to this file ('-' = stdout)")
+	metricsJSON = flag.String("metrics-json", "", "write a machine-readable run report (stats + solver metrics) as JSON to this file ('-' = stdout)")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	teleAddr    = flag.String("telemetry-addr", "", "serve live batch progress as JSON on this address while a batch runs (e.g. localhost:6060)")
 )
 
 func main() {
@@ -77,12 +92,48 @@ func main() {
 }
 
 func run() error {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "pdce: memprofile:", err)
+			}
+		}()
+	}
+
 	paths, err := expandArgs(flag.Args())
 	if err != nil {
 		return err
 	}
 	if len(paths) > 1 {
 		return runBatch(paths)
+	}
+
+	if *teleAddr != "" {
+		return fmt.Errorf("-telemetry-addr requires batch mode (several input files)")
+	}
+	observing := *explainVar != "" || *traceJSON != "" || *metricsJSON != ""
+	if observing && *mode != "pde" && *mode != "pfe" {
+		return fmt.Errorf("-explain, -trace-json, and -metrics-json require -mode pde or pfe")
+	}
+	if observing && *passes != "" {
+		return fmt.Errorf("-passes does not support -explain, -trace-json, or -metrics-json")
+	}
+	if (*mode == "pde" || *mode == "pfe") && (*stats || *metricsJSON != "") {
+		// The bit-vector op meter is process-global; a single-program
+		// run owns it outright, so the delta is exact. Batch mode
+		// leaves it off — concurrent runs would cross-attribute.
+		bitvec.EnableOpCount(true)
 	}
 
 	src, progName, err := readInput(paths)
@@ -98,7 +149,9 @@ func run() error {
 		return err
 	}
 
+	start := time.Now()
 	opt, st, err := transform(prog)
+	dur := time.Since(start)
 	if err != nil && opt == nil {
 		return err
 	}
@@ -123,6 +176,9 @@ func run() error {
 		if st != nil {
 			fmt.Fprintf(os.Stderr, "rounds: %d   eliminated: %d   inserted: %d   critical edges split: %d   growth w: %.2f\n",
 				st.Rounds, st.Eliminated, st.Inserted, st.CriticalEdges, st.GrowthFactor())
+			if st.Telemetry != nil {
+				printTelemetrySummary(st.Telemetry)
+			}
 		}
 	}
 	if *verifyRun > 0 {
@@ -133,24 +189,126 @@ func run() error {
 			*verifyRun, 100*prog.Savings(opt, *verifyRun))
 	}
 
+	if *traceJSON != "" {
+		if st == nil || st.Telemetry == nil {
+			return fmt.Errorf("-trace-json: no trace collected")
+		}
+		if err := writeJSON(*traceJSON, st.Telemetry.Events); err != nil {
+			return err
+		}
+	}
+	if *metricsJSON != "" {
+		if st == nil {
+			return fmt.Errorf("-metrics-json: no stats collected")
+		}
+		if err := writeJSON(*metricsJSON, pdce.MakeReport(progName, modeOf(), *st, dur, degraded)); err != nil {
+			return err
+		}
+	}
+	if *explainVar != "" {
+		// -explain replaces the program listing with the variable's
+		// provenance journey.
+		var tel *pdce.Telemetry
+		if st != nil {
+			tel = st.Telemetry
+		}
+		fmt.Print(pdce.FormatExplain(*explainVar, pdce.Explain(tel, *explainVar)))
+		if degraded != nil {
+			return fmt.Errorf("completed with a degraded result")
+		}
+		return nil
+	}
+
 	if *execSeed >= 0 {
 		return execute(opt)
 	}
 
-	switch *format {
-	case "listing":
-		fmt.Print(opt.String())
-	case "cfg":
-		fmt.Print(opt.Format())
-	case "dot":
-		fmt.Print(opt.DOT())
-	default:
-		return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
+	// A JSON payload on stdout replaces the program listing, so the
+	// output stays pipeable into jq and friends.
+	if *traceJSON != "-" && *metricsJSON != "-" {
+		switch *format {
+		case "listing":
+			fmt.Print(opt.String())
+		case "cfg":
+			fmt.Print(opt.Format())
+		case "dot":
+			fmt.Print(opt.DOT())
+		default:
+			return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
+		}
 	}
 	if degraded != nil {
 		return fmt.Errorf("completed with a degraded result")
 	}
 	return nil
+}
+
+// modeOf maps the -mode flag to the pde/pfe Mode value; callers have
+// already checked that the mode is one of the two.
+func modeOf() pdce.Mode {
+	if *mode == "pfe" {
+		return pdce.Faint
+	}
+	return pdce.Dead
+}
+
+// writeJSON marshals v with indentation and writes it to path, where
+// "-" means standard output.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printTelemetrySummary renders the telemetry section of -stats.
+func printTelemetrySummary(t *pdce.Telemetry) {
+	solverLine("delay", t.Delay)
+	solverLine("dead", t.Dead)
+	solverLine("faint", t.Faint)
+	if t.Arena.Slabs > 0 {
+		fmt.Fprintf(os.Stderr, "arena: %d slabs, %d of %d words used\n",
+			t.Arena.Slabs, t.Arena.UsedWords, t.Arena.CapWords)
+	}
+	if t.BitvecOps > 0 {
+		fmt.Fprintf(os.Stderr, "bit-vector ops: %d\n", t.BitvecOps)
+	}
+	if n := len(t.Events); n > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d provenance events\n", n)
+	}
+}
+
+func solverLine(analysis string, s pdce.SolverMetrics) {
+	if s.Solves == 0 && s.SlotUpdates == 0 {
+		return
+	}
+	line := fmt.Sprintf("%s: %d solves (%d full, %d incremental, %d cached)   visits: %d   pushes: %d   vector ops: %d",
+		analysis, s.Solves, s.FullSolves, s.IncrementalSolves, s.CacheHits,
+		s.NodeVisits, s.WorklistPushes, s.VectorOps)
+	if s.SeedableNodes > 0 {
+		line += fmt.Sprintf("   reuse: %.0f%%", 100*s.ReuseRate)
+	}
+	if s.SlotUpdates > 0 {
+		line += fmt.Sprintf("   slot updates: %d", s.SlotUpdates)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// writeMemProfile dumps the post-GC heap profile to path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // execute runs the program under the interpreter and prints its
@@ -229,6 +387,9 @@ func runBatch(paths []string) error {
 	if *passes != "" || *execSeed >= 0 || *verifyRun > 0 || *trace {
 		return fmt.Errorf("batch mode does not support -passes, -exec, -verify, or -trace")
 	}
+	if *explainVar != "" || *traceJSON != "" {
+		return fmt.Errorf("batch mode does not support -explain or -trace-json (run them on a single file)")
+	}
 
 	o, cancel := pdeOptions()
 	defer cancel()
@@ -253,20 +414,45 @@ func runBatch(paths []string) error {
 		progs = append(progs, prog)
 	}
 
-	results := pdce.OptimizeAll(progs, o, *workers)
+	var tk pdce.BatchTracker
+	if *teleAddr != "" {
+		srv, addr, err := serveProgress(*teleAddr, &tk)
+		if err != nil {
+			return fmt.Errorf("-telemetry-addr: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pdce: serving batch progress on http://%s/progress\n", addr)
+	}
+
+	begin := time.Now()
+	results, metrics := pdce.OptimizeAllObserved(progs, o, *workers, &tk)
+	elapsed := time.Since(begin)
+
+	// JSON on stdout replaces the per-program listings, as in single
+	// mode.
+	listing := *metricsJSON != "-"
+	var reports []pdce.Report
 
 	failed := 0
 	ri := 0
 	for _, path := range order {
-		fmt.Printf("==> %s\n", path)
+		if listing {
+			fmt.Printf("==> %s\n", path)
+		}
 		if err, bad := parseErrs[path]; bad {
 			failed++
 			fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", path, err)
+			if *metricsJSON != "" {
+				reports = append(reports, pdce.MakeReport(progBase(path), modeOf(), pdce.Stats{}, 0, err))
+			}
 			continue
 		}
 		prog := progs[ri]
 		r := results[ri]
 		ri++
+		if *metricsJSON != "" {
+			reports = append(reports, pdce.MakeReport(progBase(path), modeOf(), r.Stats, r.Duration, r.Err))
+		}
 		if r.Err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "pdce: %s: %v\n", path, r.Err)
@@ -278,10 +464,14 @@ func runBatch(paths []string) error {
 			// other program, under the warning above.
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "%s: blocks: %d -> %d   statements: %d -> %d   rounds: %d   eliminated: %d   inserted: %d\n",
+			fmt.Fprintf(os.Stderr, "%s: blocks: %d -> %d   statements: %d -> %d   rounds: %d   eliminated: %d   inserted: %d   worker: %d   %v\n",
 				path, prog.NumBlocks(), r.Program.NumBlocks(),
 				prog.NumStatements(), r.Program.NumStatements(),
-				r.Stats.Rounds, r.Stats.Eliminated, r.Stats.Inserted)
+				r.Stats.Rounds, r.Stats.Eliminated, r.Stats.Inserted,
+				r.Worker, r.Duration.Round(time.Microsecond))
+		}
+		if !listing {
+			continue
 		}
 		switch *format {
 		case "listing":
@@ -294,10 +484,42 @@ func runBatch(paths []string) error {
 			return fmt.Errorf("unknown -format %q (want listing, cfg, or dot)", *format)
 		}
 	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "batch: %d jobs on %d workers in %v   p50 %v   p95 %v   max %v   failed: %d (panics: %d, interrupted: %d, skipped: %d)\n",
+			metrics.Jobs, tk.Snapshot().Workers, elapsed.Round(time.Millisecond),
+			time.Duration(metrics.P50NS).Round(time.Microsecond),
+			time.Duration(metrics.P95NS).Round(time.Microsecond),
+			time.Duration(metrics.MaxNS).Round(time.Microsecond),
+			metrics.Failed, metrics.Panics, metrics.Interrupted, metrics.Skipped)
+	}
+	if *metricsJSON != "" {
+		if err := writeJSON(*metricsJSON, pdce.BatchReport{Programs: reports, Batch: metrics}); err != nil {
+			return err
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d programs failed", failed, len(order))
 	}
 	return nil
+}
+
+// serveProgress starts the batch telemetry endpoint: GET /progress on
+// the given address returns the tracker's live snapshot as JSON. The
+// caller closes the returned server when the batch is done.
+func serveProgress(addr string, tk *pdce.BatchTracker) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(tk.Snapshot())
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
 }
 
 // pdeOptions assembles the pde/pfe options shared by single-file and
@@ -316,6 +538,8 @@ func pdeOptions() (pdce.Options, context.CancelFunc) {
 		RoundBudget:   *roundBudget,
 		Verify:        *verified,
 		ReproDir:      *reproDir,
+		Telemetry:     *stats || *metricsJSON != "",
+		Trace:         *explainVar != "" || *traceJSON != "",
 	}
 	if *hot != "" {
 		set := map[string]bool{}

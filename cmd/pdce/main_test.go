@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -240,6 +242,210 @@ func TestTransformDegradedOnPanic(t *testing.T) {
 			t.Error("degraded result is not the unchanged input")
 		}
 	})
+}
+
+// setFlag overrides a flag variable for the duration of the test.
+func setFlag[T any](t *testing.T, p *T, v T) {
+	t.Helper()
+	old := *p
+	*p = v
+	t.Cleanup(func() { *p = old })
+}
+
+// runWithStdin drives the full single-file run() path with the program
+// fed through standard input, returning captured standard output.
+func runWithStdin(t *testing.T, src string) (string, error) {
+	t.Helper()
+	oldIn, oldOut := os.Stdin, os.Stdout
+	inR, inW, _ := os.Pipe()
+	outR, outW, _ := os.Pipe()
+	os.Stdin, os.Stdout = inR, outW
+	go func() {
+		io.WriteString(inW, src)
+		inW.Close()
+	}()
+	err := run()
+	outW.Close()
+	os.Stdin, os.Stdout = oldIn, oldOut
+	var b strings.Builder
+	io.Copy(&b, outR)
+	return b.String(), err
+}
+
+// TestRunExplain checks the -explain surface end to end: the journey of
+// a sunk-then-eliminated assignment replaces the program listing.
+func TestRunExplain(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "corpus", "stats.while"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFlag(t, mode, "pde")
+	setFlag(t, explainVar, "sq")
+	out, err := runWithStdin(t, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "provenance of sq:") {
+		t.Errorf("-explain did not replace the listing: %q", out)
+	}
+	for _, want := range []string{"removed from block", "inserted at", "eliminated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunMetricsJSONStdout checks that -metrics-json - emits a report
+// that parses as pdce.Report, with the telemetry section populated, and
+// that the JSON payload replaces the program listing on stdout.
+func TestRunMetricsJSONStdout(t *testing.T) {
+	setFlag(t, mode, "pde")
+	setFlag(t, metricsJSON, "-")
+	out, err := runWithStdin(t, "y := a+b\nif * { y := c }\nout(y)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep pdce.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not a single JSON report: %v\n%s", err, out)
+	}
+	if rep.Name != "stdin" || !rep.OK {
+		t.Errorf("report header = %q ok=%v", rep.Name, rep.OK)
+	}
+	if rep.Stats.Rounds == 0 {
+		t.Error("report has no rounds")
+	}
+	if rep.Stats.Telemetry == nil || rep.Stats.Telemetry.Delay.Solves == 0 {
+		t.Errorf("report telemetry missing or empty: %+v", rep.Stats.Telemetry)
+	}
+}
+
+// TestRunTraceJSONFile checks that -trace-json writes a parseable,
+// densely-numbered event stream to a file while the program listing
+// still goes to stdout.
+func TestRunTraceJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	setFlag(t, mode, "pfe")
+	setFlag(t, traceJSON, path)
+	out, err := runWithStdin(t, "y := a+b\nif * { y := c }\nout(y)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("file output must not suppress the program listing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []pdce.TraceEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d (stream must be dense)", i, ev.Seq)
+		}
+	}
+}
+
+// TestRunObservabilityGuards checks flag validation on the single-file
+// path.
+func TestRunObservabilityGuards(t *testing.T) {
+	setFlag(t, mode, "dce")
+	setFlag(t, explainVar, "x")
+	if _, err := runWithStdin(t, "out(1)\n"); err == nil || !strings.Contains(err.Error(), "require -mode pde or pfe") {
+		t.Errorf("-explain with -mode dce returned %v", err)
+	}
+
+	setFlag(t, mode, "pde")
+	setFlag(t, explainVar, "")
+	setFlag(t, teleAddr, "127.0.0.1:0")
+	if _, err := runWithStdin(t, "out(1)\n"); err == nil || !strings.Contains(err.Error(), "batch mode") {
+		t.Errorf("-telemetry-addr on one file returned %v", err)
+	}
+}
+
+// TestServeProgress checks the batch telemetry endpoint: GET /progress
+// returns the tracker snapshot as JSON.
+func TestServeProgress(t *testing.T) {
+	var tk pdce.BatchTracker
+	srv, addr, err := serveProgress("127.0.0.1:0", &tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var p pdce.BatchProgress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 || p.Done != 0 {
+		t.Errorf("fresh tracker snapshot = %+v", p)
+	}
+}
+
+// TestRunBatchMetricsReport drives batch mode with -metrics-json: the
+// report must cover every input in order — including the parse failure
+// — and carry the aggregated batch metrics.
+func TestRunBatchMetricsReport(t *testing.T) {
+	dir := t.TempDir()
+	good1 := filepath.Join(dir, "1good.while")
+	bad := filepath.Join(dir, "2bad.while")
+	good2 := filepath.Join(dir, "3good.while")
+	os.WriteFile(good1, []byte("x := a+b\nif * { out(x) }\n"), 0o644)
+	os.WriteFile(bad, []byte("out(\n"), 0o644)
+	os.WriteFile(good2, []byte("y := 1\nout(2)\n"), 0o644)
+	reportPath := filepath.Join(dir, "report.json")
+	setFlag(t, metricsJSON, reportPath)
+
+	oldStdout := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	err := runBatch([]string{good1, bad, good2})
+	os.Stdout = oldStdout
+	if err == nil || !strings.Contains(err.Error(), "1 of 3 programs failed") {
+		t.Fatalf("batch returned %v", err)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br pdce.BatchReport
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Programs) != 3 {
+		t.Fatalf("report covers %d programs, want 3", len(br.Programs))
+	}
+	if br.Programs[0].Name != "1good" || br.Programs[1].Name != "2bad" || br.Programs[2].Name != "3good" {
+		t.Errorf("report order wrong: %s, %s, %s", br.Programs[0].Name, br.Programs[1].Name, br.Programs[2].Name)
+	}
+	if br.Programs[1].OK || br.Programs[1].Error == "" {
+		t.Errorf("parse failure not recorded: %+v", br.Programs[1])
+	}
+	for _, i := range []int{0, 2} {
+		p := br.Programs[i]
+		if !p.OK || p.Stats.Telemetry == nil || p.DurationNS <= 0 {
+			t.Errorf("program %s: ok=%v telemetry=%v duration=%d", p.Name, p.OK, p.Stats.Telemetry != nil, p.DurationNS)
+		}
+	}
+	if br.Batch.Jobs != 2 || br.Batch.Failed != 0 {
+		t.Errorf("batch metrics = %+v", br.Batch)
+	}
+	if br.Batch.P50NS <= 0 || br.Batch.MaxNS < br.Batch.P50NS {
+		t.Errorf("batch percentiles = p50 %d max %d", br.Batch.P50NS, br.Batch.MaxNS)
+	}
 }
 
 // TestRunBatchDegradedJob checks that a job whose optimization panics

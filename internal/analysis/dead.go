@@ -5,6 +5,7 @@ import (
 	"pdce/internal/cfg"
 	"pdce/internal/dataflow"
 	"pdce/internal/ir"
+	"pdce/internal/obs"
 )
 
 // DeadResult is the greatest solution of the dead-variable analysis of
@@ -100,6 +101,13 @@ func NewDeadSolver(g *cfg.Graph, vars *ir.VarTable) *DeadSolver {
 // partial result flagged Stats.Cancelled that must not justify any
 // elimination.
 func (s *DeadSolver) SetCancel(cancel func() bool) { s.solver.SetCancel(cancel) }
+
+// SetMetrics installs a telemetry sink recording every solve this
+// solver performs. A nil sink (the default) collects nothing.
+func (s *DeadSolver) SetMetrics(m *obs.SolverMetrics) { s.solver.SetMetrics(m) }
+
+// ArenaStats reports the slab state of the solver's vector arena.
+func (s *DeadSolver) ArenaStats() bitvec.ArenaStats { return s.solver.ArenaStats() }
 
 // Solve re-solves after the given blocks changed, reusing the previous
 // round's solution outside the affected region (the dirty blocks and

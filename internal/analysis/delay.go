@@ -5,6 +5,7 @@ import (
 	"pdce/internal/cfg"
 	"pdce/internal/dataflow"
 	"pdce/internal/ir"
+	"pdce/internal/obs"
 )
 
 // DelayResult is the greatest solution of the delayability equation
@@ -119,12 +120,14 @@ func computeInserts(g *cfg.Graph, r *DelayResult) {
 // set and every node is reachable from it, the greatest solution
 // assigns it X-DELAYED = false everywhere — no spurious insertions.
 type DelaySolver struct {
-	g      *cfg.Graph
-	Index  *PatternIndex
-	locals *Locals
-	solver *dataflow.Solver
-	res    DelayResult
-	solved bool
+	g       *cfg.Graph
+	Index   *PatternIndex
+	locals  *Locals
+	solver  *dataflow.Solver
+	res     DelayResult
+	solved  bool
+	arena   bitvec.Arena // backs the insertion-predicate vectors
+	metrics *obs.SolverMetrics
 
 	scratch *bitvec.Vector // locals sweep scratch
 }
@@ -148,10 +151,9 @@ func NewDelaySolver(g *cfg.Graph, pt *ir.PatternTable) *DelaySolver {
 		NInsert:  make([]*bitvec.Vector, g.NumNodes()),
 		XInsert:  make([]*bitvec.Vector, g.NumNodes()),
 	}
-	var arena bitvec.Arena
 	for _, n := range g.Nodes() {
-		s.res.NInsert[n.ID] = arena.New(bits)
-		s.res.XInsert[n.ID] = arena.New(bits)
+		s.res.NInsert[n.ID] = s.arena.New(bits)
+		s.res.XInsert[n.ID] = s.arena.New(bits)
 	}
 	return s
 }
@@ -165,6 +167,25 @@ func (s *DelaySolver) Locals() *Locals { return s.locals }
 // sinking.
 func (s *DelaySolver) SetCancel(cancel func() bool) { s.solver.SetCancel(cancel) }
 
+// SetMetrics installs a telemetry sink recording every solve this
+// solver performs, including the cached-solution fast path. A nil sink
+// (the default) collects nothing.
+func (s *DelaySolver) SetMetrics(m *obs.SolverMetrics) {
+	s.metrics = m
+	s.solver.SetMetrics(m)
+}
+
+// ArenaStats reports the combined slab state of the solver's vector
+// arenas (the fixpoint solution storage plus the insertion predicates).
+func (s *DelaySolver) ArenaStats() bitvec.ArenaStats {
+	st := s.solver.ArenaStats()
+	own := s.arena.Stats()
+	st.Slabs += own.Slabs
+	st.CapWords += own.CapWords
+	st.UsedWords += own.UsedWords
+	return st
+}
+
 // Solve re-solves after the given blocks changed: their local
 // predicates are recomputed, the fixpoint is re-seeded over the
 // affected region, and the insertion predicates are refreshed. A nil
@@ -173,6 +194,7 @@ func (s *DelaySolver) SetCancel(cancel func() bool) { s.solver.SetCancel(cancel)
 // solver's storage and is invalidated by the next Solve.
 func (s *DelaySolver) Solve(dirty []cfg.NodeID) *DelayResult {
 	if s.solved && len(dirty) == 0 {
+		s.metrics.RecordCacheHit()
 		s.res.Stats = dataflow.SolverStats{}
 		return &s.res
 	}

@@ -5,6 +5,7 @@ import (
 	"pdce/internal/cfg"
 	"pdce/internal/dataflow"
 	"pdce/internal/ir"
+	"pdce/internal/obs"
 )
 
 // FaintResult is the greatest solution of the faint-variable analysis
@@ -59,6 +60,14 @@ func FaintVarsWith(g *cfg.Graph, vars *ir.VarTable) *FaintResult {
 // the solve stops early and the result comes back flagged Cancelled.
 // A nil cancel solves to the fixpoint unconditionally.
 func FaintVarsCancel(g *cfg.Graph, vars *ir.VarTable, cancel func() bool) *FaintResult {
+	return FaintVarsObserve(g, vars, cancel, nil)
+}
+
+// FaintVarsObserve is FaintVarsCancel with a telemetry sink that
+// receives the solve's slot-update and worklist-push counts (including
+// the initial seeding) when it finishes or is cancelled. A nil sink
+// collects nothing.
+func FaintVarsObserve(g *cfg.Graph, vars *ir.VarTable, cancel func() bool, metrics *obs.SolverMetrics) *FaintResult {
 	fp := dataflow.Flatten(g)
 	nv := vars.Len()
 	ni := fp.Len()
@@ -143,12 +152,14 @@ func FaintVarsCancel(g *cfg.Graph, vars *ir.VarTable, cancel func() bool) *Faint
 	// enters the queue O(1) times per dependency fall.
 	type slot struct{ i, x int }
 	var queue []slot
+	pushes := 0
 	queued := make([]bool, ni*nv)
 	push := func(i, x int) {
 		k := i*nv + x
 		if !queued[k] {
 			queued[k] = true
 			queue = append(queue, slot{i, x})
+			pushes++
 		}
 	}
 	// Seed every slot once.
@@ -161,6 +172,7 @@ func FaintVarsCancel(g *cfg.Graph, vars *ir.VarTable, cancel func() bool) *Faint
 	for len(queue) > 0 {
 		if cancel != nil && r.SlotUpdates%256 == 0 && cancel() {
 			r.Cancelled = true
+			metrics.RecordSlotSolve(r.SlotUpdates, pushes, true)
 			return r
 		}
 		s := queue[len(queue)-1]
@@ -203,6 +215,7 @@ func FaintVarsCancel(g *cfg.Graph, vars *ir.VarTable, cancel func() bool) *Faint
 			}
 		}
 	}
+	metrics.RecordSlotSolve(r.SlotUpdates, pushes, false)
 	return r
 }
 

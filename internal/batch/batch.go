@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"pdce/internal/cfg"
 	"pdce/internal/core"
@@ -49,6 +50,12 @@ type Result struct {
 	Graph *cfg.Graph // nil when Err is non-nil, except partial results
 	Stats core.Stats
 	Err   error
+
+	// Duration is the job's wall-clock optimization time; Worker is
+	// the 0-based index of the pool worker that ran it, -1 for jobs
+	// the pool never started (batch context cancelled first).
+	Duration time.Duration
+	Worker   int
 }
 
 // Run optimizes every job using at most workers concurrent
@@ -68,6 +75,13 @@ func Run(jobs []Job, workers int) []Result {
 // *core.InterruptError plus the best graph reached). RunContext always
 // drains the pool before returning; no worker outlives the call.
 func RunContext(ctx context.Context, jobs []Job, workers int) []Result {
+	return RunObserved(ctx, jobs, workers, nil)
+}
+
+// RunObserved is RunContext with a live progress tracker. tk, when
+// non-nil, is updated as jobs start and finish — the feed behind the
+// batch progress endpoint of cmd/pdce. A nil tracker collects nothing.
+func RunObserved(ctx context.Context, jobs []Job, workers int, tk *Tracker) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -78,17 +92,20 @@ func RunContext(ctx context.Context, jobs []Job, workers int) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	tk.begin(len(jobs), workers)
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, jobs[i])
+				tk.jobStarted()
+				results[i] = runJob(ctx, jobs[i], worker)
+				tk.jobDone(results[i].Err != nil)
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := range jobs {
@@ -98,7 +115,8 @@ dispatch:
 			// Mark this and every remaining job untouched; the
 			// workers drain naturally once the channel closes.
 			for j := i; j < len(jobs); j++ {
-				results[j] = Result{Name: jobs[j].Name, Err: ctx.Err()}
+				results[j] = Result{Name: jobs[j].Name, Err: ctx.Err(), Worker: -1}
+				tk.jobSkipped()
 			}
 			break dispatch
 		}
@@ -112,9 +130,12 @@ dispatch:
 // the run — including the fault-injection point, which fires inside
 // the contained region so an injected panic takes the same recovery
 // path a real one would — becomes that job's *core.PanicError.
-func runJob(ctx context.Context, j Job) (res Result) {
+func runJob(ctx context.Context, j Job, worker int) (res Result) {
 	res.Name = j.Name
+	res.Worker = worker
+	start := time.Now()
 	defer func() {
+		res.Duration = time.Since(start)
 		if v := recover(); v != nil {
 			res.Graph, res.Err = nil, &core.PanicError{Value: v, Stack: debug.Stack()}
 		}

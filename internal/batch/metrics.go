@@ -1,0 +1,191 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pdce/internal/core"
+)
+
+// Tracker publishes live progress of one batch run. All methods are
+// nil-safe (a nil tracker collects nothing) and concurrency-safe; the
+// pool updates it from every worker, and the batch progress endpoint of
+// cmd/pdce reads snapshots while the run is in flight. A tracker may be
+// reused across runs — begin resets it.
+type Tracker struct {
+	total   atomic.Int64
+	workers atomic.Int64
+	started atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	skipped atomic.Int64
+	beganAt atomic.Int64 // unix nanoseconds
+}
+
+func (t *Tracker) begin(jobs, workers int) {
+	if t == nil {
+		return
+	}
+	t.total.Store(int64(jobs))
+	t.workers.Store(int64(workers))
+	t.started.Store(0)
+	t.done.Store(0)
+	t.failed.Store(0)
+	t.skipped.Store(0)
+	t.beganAt.Store(time.Now().UnixNano())
+}
+
+func (t *Tracker) jobStarted() {
+	if t != nil {
+		t.started.Add(1)
+	}
+}
+
+func (t *Tracker) jobDone(failed bool) {
+	if t == nil {
+		return
+	}
+	t.done.Add(1)
+	if failed {
+		t.failed.Add(1)
+	}
+}
+
+func (t *Tracker) jobSkipped() {
+	if t == nil {
+		return
+	}
+	t.skipped.Add(1)
+	t.failed.Add(1)
+}
+
+// Progress is a point-in-time view of a tracked batch run.
+type Progress struct {
+	// Total is the job count, Workers the pool size. Started counts
+	// jobs handed to a worker, Done the finished ones (Failed of
+	// those with an error), Skipped the jobs the pool never started
+	// because the batch context was cancelled. ElapsedMS is the wall
+	// time since the run began.
+	Total     int64 `json:"total"`
+	Workers   int64 `json:"workers"`
+	Started   int64 `json:"started"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Skipped   int64 `json:"skipped"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Snapshot freezes the tracker. Nil-safe.
+func (t *Tracker) Snapshot() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	p := Progress{
+		Total:   t.total.Load(),
+		Workers: t.workers.Load(),
+		Started: t.started.Load(),
+		Done:    t.done.Load(),
+		Failed:  t.failed.Load(),
+		Skipped: t.skipped.Load(),
+	}
+	if began := t.beganAt.Load(); began > 0 {
+		p.ElapsedMS = (time.Now().UnixNano() - began) / int64(time.Millisecond)
+	}
+	return p
+}
+
+// WorkerStats aggregates one pool worker's share of a finished run.
+type WorkerStats struct {
+	Jobs   int   `json:"jobs"`
+	BusyNS int64 `json:"busy_ns"`
+}
+
+// Metrics aggregates a finished result set for machine consumption:
+// failure classification, latency percentiles, and per-worker load.
+type Metrics struct {
+	Jobs   int `json:"jobs"`
+	Failed int `json:"failed"`
+
+	// Failure classes: Panics counts contained *core.PanicError
+	// results, Interrupted watchdog/context *core.InterruptError
+	// results (which still carry a usable graph), Skipped jobs the
+	// pool never started.
+	Panics      int `json:"panics"`
+	Interrupted int `json:"interrupted"`
+	Skipped     int `json:"skipped"`
+
+	// Latency percentiles (nearest-rank) and maximum over the jobs
+	// that actually ran, plus the summed busy time.
+	P50NS   int64 `json:"p50_ns"`
+	P95NS   int64 `json:"p95_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	TotalNS int64 `json:"total_ns"`
+
+	// PerWorker is indexed by worker ID.
+	PerWorker []WorkerStats `json:"per_worker,omitempty"`
+}
+
+// ComputeMetrics folds a finished result slice into batch metrics.
+func ComputeMetrics(results []Result) Metrics {
+	m := Metrics{Jobs: len(results)}
+	var durs []time.Duration
+	maxWorker := -1
+	for _, r := range results {
+		if r.Worker > maxWorker {
+			maxWorker = r.Worker
+		}
+	}
+	if maxWorker >= 0 {
+		m.PerWorker = make([]WorkerStats, maxWorker+1)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			m.Failed++
+			var pe *core.PanicError
+			var ie *core.InterruptError
+			switch {
+			case errors.As(r.Err, &pe):
+				m.Panics++
+			case errors.As(r.Err, &ie):
+				m.Interrupted++
+			case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+				if r.Worker < 0 {
+					m.Skipped++
+				}
+			}
+		}
+		if r.Worker < 0 {
+			continue
+		}
+		durs = append(durs, r.Duration)
+		m.TotalNS += int64(r.Duration)
+		if int64(r.Duration) > m.MaxNS {
+			m.MaxNS = int64(r.Duration)
+		}
+		w := &m.PerWorker[r.Worker]
+		w.Jobs++
+		w.BusyNS += int64(r.Duration)
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		m.P50NS = int64(durs[nearestRank(len(durs), 50)])
+		m.P95NS = int64(durs[nearestRank(len(durs), 95)])
+	}
+	return m
+}
+
+// nearestRank returns the 0-based index of the p-th percentile under
+// the nearest-rank definition for a sorted sample of size n.
+func nearestRank(n, p int) int {
+	r := (p*n + 99) / 100 // ceil(p/100 * n)
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r - 1
+}

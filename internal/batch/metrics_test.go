@@ -1,0 +1,133 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pdce/internal/core"
+	"pdce/internal/faultinject"
+)
+
+func TestComputeMetricsAggregation(t *testing.T) {
+	results := []Result{
+		{Name: "a", Worker: 0, Duration: 10 * time.Millisecond},
+		{Name: "b", Worker: 1, Duration: 20 * time.Millisecond},
+		{Name: "c", Worker: 0, Duration: 30 * time.Millisecond},
+		{Name: "d", Worker: 1, Duration: 40 * time.Millisecond,
+			Err: &core.PanicError{Value: "boom"}},
+		{Name: "e", Worker: -1, Err: context.Canceled},
+	}
+	m := ComputeMetrics(results)
+	if m.Jobs != 5 || m.Failed != 2 {
+		t.Errorf("jobs/failed = %d/%d, want 5/2", m.Jobs, m.Failed)
+	}
+	if m.Panics != 1 || m.Interrupted != 0 || m.Skipped != 1 {
+		t.Errorf("failure classes = %+v", m)
+	}
+	// Four jobs ran: sorted durations 10,20,30,40ms. Nearest-rank
+	// p50 = 2nd (20ms), p95 = 4th (40ms).
+	if m.P50NS != int64(20*time.Millisecond) || m.P95NS != int64(40*time.Millisecond) {
+		t.Errorf("p50/p95 = %d/%d", m.P50NS, m.P95NS)
+	}
+	if m.MaxNS != int64(40*time.Millisecond) || m.TotalNS != int64(100*time.Millisecond) {
+		t.Errorf("max/total = %d/%d", m.MaxNS, m.TotalNS)
+	}
+	if len(m.PerWorker) != 2 {
+		t.Fatalf("per-worker = %+v", m.PerWorker)
+	}
+	if m.PerWorker[0].Jobs != 2 || m.PerWorker[0].BusyNS != int64(40*time.Millisecond) {
+		t.Errorf("worker 0 = %+v", m.PerWorker[0])
+	}
+	if m.PerWorker[1].Jobs != 2 || m.PerWorker[1].BusyNS != int64(60*time.Millisecond) {
+		t.Errorf("worker 1 = %+v", m.PerWorker[1])
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	cases := []struct{ n, p, want int }{
+		{1, 50, 0}, {1, 95, 0},
+		{4, 50, 1}, {4, 95, 3},
+		{100, 50, 49}, {100, 95, 94},
+	}
+	for _, c := range cases {
+		if got := nearestRank(c.n, c.p); got != c.want {
+			t.Errorf("nearestRank(%d, %d) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// TestRunObservedTracker runs a real pool against a tracker and checks
+// the final snapshot and the per-result worker/duration stamps.
+func TestRunObservedTracker(t *testing.T) {
+	const njobs = 6
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprint(i), Graph: goodGraph(int64(i)), Options: core.Options{Mode: core.ModeDead}}
+	}
+	var tk Tracker
+	results := RunObserved(context.Background(), jobs, 2, &tk)
+
+	p := tk.Snapshot()
+	if p.Total != njobs || p.Workers != 2 || p.Started != njobs || p.Done != njobs {
+		t.Errorf("progress = %+v", p)
+	}
+	if p.Failed != 0 || p.Skipped != 0 {
+		t.Errorf("unexpected failures: %+v", p)
+	}
+	for i, r := range results {
+		if r.Worker < 0 || r.Worker > 1 {
+			t.Errorf("job %d ran on worker %d", i, r.Worker)
+		}
+		if r.Duration <= 0 {
+			t.Errorf("job %d has no duration", i)
+		}
+	}
+	m := ComputeMetrics(results)
+	if m.Jobs != njobs || m.Failed != 0 || m.P50NS <= 0 || m.P95NS < m.P50NS {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestTrackerCancelledRun pins the skipped accounting: jobs never
+// dispatched count as skipped and failed in the live snapshot.
+func TestTrackerCancelledRun(t *testing.T) {
+	const njobs, workers = 8, 2
+	started := make(chan struct{}, njobs)
+	release := make(chan struct{})
+	restore := faultinject.Set(func(p faultinject.Point, _ any) {
+		if p == faultinject.BatchJob {
+			started <- struct{}{}
+			<-release
+		}
+	})
+	defer restore()
+
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprint(i), Graph: goodGraph(int64(i)), Options: core.Options{Mode: core.ModeDead}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tk Tracker
+	done := make(chan []Result, 1)
+	go func() { done <- RunObserved(ctx, jobs, workers, &tk) }()
+	<-started
+	<-started
+	cancel()
+	close(release)
+	results := <-done
+
+	p := tk.Snapshot()
+	if p.Skipped != njobs-workers {
+		t.Errorf("skipped = %d, want %d", p.Skipped, njobs-workers)
+	}
+	if p.Started != workers || p.Done != workers {
+		t.Errorf("started/done = %d/%d, want %d each", p.Started, p.Done, workers)
+	}
+	m := ComputeMetrics(results)
+	if m.Skipped != njobs-workers {
+		t.Errorf("metrics skipped = %d, want %d", m.Skipped, njobs-workers)
+	}
+}

@@ -17,6 +17,7 @@ type Arena struct {
 	chunks [][]uint64
 	cur    int // index of the chunk being carved
 	off    int // carve offset into chunks[cur]
+	used   int // words handed out since creation or the last Reset
 }
 
 // arenaChunkWords is the minimum slab size (64 KiB). Vectors wider
@@ -50,6 +51,7 @@ func (a *Arena) alloc(words int) []uint64 {
 	if words == 0 {
 		return nil
 	}
+	a.used += words
 	for a.cur < len(a.chunks) {
 		c := a.chunks[a.cur]
 		if a.off+words <= len(c) {
@@ -77,4 +79,23 @@ func (a *Arena) alloc(words int) []uint64 {
 func (a *Arena) Reset() {
 	a.cur = 0
 	a.off = 0
+	a.used = 0
+}
+
+// ArenaStats describes an arena's slab state for telemetry.
+type ArenaStats struct {
+	// Slabs is the number of backing chunks, CapWords their combined
+	// capacity, UsedWords the words handed out since creation or the
+	// last Reset. CapWords exceeding UsedWords measures carve waste
+	// (abandoned slab tails plus never-carved capacity).
+	Slabs, CapWords, UsedWords int
+}
+
+// Stats returns the arena's current slab statistics.
+func (a *Arena) Stats() ArenaStats {
+	st := ArenaStats{Slabs: len(a.chunks), UsedWords: a.used}
+	for _, c := range a.chunks {
+		st.CapWords += len(c)
+	}
+	return st
 }

@@ -116,12 +116,14 @@ func (v *Vector) Copy() *Vector {
 
 // CopyFrom overwrites v with the contents of w. Lengths must match.
 func (v *Vector) CopyFrom(w *Vector) {
+	countOp()
 	v.checkSame(w)
 	copy(v.words, w.words)
 }
 
 // And sets v = v AND w and reports whether v changed.
 func (v *Vector) And(w *Vector) bool {
+	countOp()
 	v.checkSame(w)
 	changed := false
 	for i, x := range w.words {
@@ -136,6 +138,7 @@ func (v *Vector) And(w *Vector) bool {
 
 // Or sets v = v OR w and reports whether v changed.
 func (v *Vector) Or(w *Vector) bool {
+	countOp()
 	v.checkSame(w)
 	changed := false
 	for i, x := range w.words {
@@ -150,6 +153,7 @@ func (v *Vector) Or(w *Vector) bool {
 
 // AndNot sets v = v AND NOT w and reports whether v changed.
 func (v *Vector) AndNot(w *Vector) bool {
+	countOp()
 	v.checkSame(w)
 	changed := false
 	for i, x := range w.words {
@@ -167,6 +171,7 @@ func (v *Vector) AndNot(w *Vector) bool {
 // insertion predicate Σ ¬N-DELAYED, which would otherwise need a
 // temporary copy per successor.
 func (v *Vector) OrNot(w *Vector) {
+	countOp()
 	v.checkSame(w)
 	for i, x := range w.words {
 		v.words[i] |= ^x
@@ -176,6 +181,7 @@ func (v *Vector) OrNot(w *Vector) {
 
 // Not sets v to its bitwise complement.
 func (v *Vector) Not() {
+	countOp()
 	for i := range v.words {
 		v.words[i] = ^v.words[i]
 	}
@@ -185,6 +191,7 @@ func (v *Vector) Not() {
 // Equal reports whether v and w hold identical bits. Vectors of
 // different lengths are never equal.
 func (v *Vector) Equal(w *Vector) bool {
+	countOp()
 	if v.n != w.n {
 		return false
 	}

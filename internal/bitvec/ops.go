@@ -1,0 +1,39 @@
+package bitvec
+
+import "sync/atomic"
+
+// The op meter counts bulk vector operations (And, Or, AndNot, OrNot,
+// Not, CopyFrom, Equal) process-wide. It exists for the telemetry
+// layer: enabling it answers "how many bit-vector operations did this
+// optimization perform" without threading a counter through every call
+// site.
+//
+// The meter is off by default; the per-operation cost while off is a
+// single relaxed atomic load (a plain MOV on amd64/arm64) in functions
+// that already loop over their word slices, which is why the guarded
+// counter — unlike an unconditional atomic add — does not register on
+// the solver profile. Because the meter is process-global, deltas
+// measured around a run attribute concurrently-running work too; the
+// single-run CLI is the intended consumer.
+
+var (
+	opsEnabled atomic.Bool
+	opsCount   atomic.Int64
+)
+
+// EnableOpCount switches the process-global op meter on or off.
+func EnableOpCount(on bool) { opsEnabled.Store(on) }
+
+// OpCountEnabled reports whether the meter is on.
+func OpCountEnabled() bool { return opsEnabled.Load() }
+
+// OpCount returns the number of bulk vector operations performed since
+// the meter was last enabled (the counter is monotone; take deltas).
+func OpCount() int64 { return opsCount.Load() }
+
+// countOp is called by every bulk operation.
+func countOp() {
+	if opsEnabled.Load() {
+		opsCount.Add(1)
+	}
+}

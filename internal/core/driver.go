@@ -6,8 +6,11 @@ import (
 	"time"
 
 	"pdce/internal/analysis"
+	"pdce/internal/bitvec"
 	"pdce/internal/cfg"
+	"pdce/internal/dataflow"
 	"pdce/internal/faultinject"
+	"pdce/internal/obs"
 )
 
 // Mode selects the elimination power of the driver.
@@ -97,6 +100,16 @@ type Options struct {
 	// verified mode: the caller supplies a semantics oracle
 	// comparing the intermediate graph against the original input.
 	RoundCheck func(g *cfg.Graph, round int) error
+
+	// Collector, when non-nil, receives the run's telemetry: solver
+	// cost counters per analysis, arena slab statistics, and — when
+	// the collector's Trace is armed — the provenance event stream
+	// (one event per split edge, elimination, candidate removal,
+	// insertion, and fusion). Transform attaches the frozen snapshot
+	// to Stats.Telemetry. A nil collector makes every collection
+	// point a no-op; hot-region runs collect solver metrics only
+	// coarsely and record no provenance.
+	Collector *obs.Collector
 }
 
 // PhaseEvent describes one completed phase of the fixpoint iteration.
@@ -137,6 +150,10 @@ type Stats struct {
 
 	// ElimSolverWork and SinkSolverWork accumulate analysis effort.
 	ElimSolverWork, SinkSolverWork int
+
+	// Telemetry is the frozen observability snapshot of the run,
+	// non-nil exactly when Options.Collector was set.
+	Telemetry *obs.Telemetry
 }
 
 // GrowthFactor returns the paper's w: the maximal factor by which the
@@ -183,11 +200,29 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	if errs := cfg.Validate(g); len(errs) > 0 {
 		return nil, Stats{}, fmt.Errorf("core: invalid input graph: %s", errs[0])
 	}
+	var ops0 int64
+	if opt.Collector != nil && bitvec.OpCountEnabled() {
+		ops0 = bitvec.OpCount()
+	}
 	out := g.Clone()
 	var st Stats
 	st.OriginalStmts = out.NumStmts()
 	st.PeakStmts = st.OriginalStmts
-	st.CriticalEdges = len(cfg.SplitCriticalEdges(out))
+	synth := cfg.SplitCriticalEdges(out)
+	st.CriticalEdges = len(synth)
+	if tr := opt.Collector.Tracer(); tr != nil {
+		tr.BeginPhase(0, "setup", "")
+		for _, m := range synth {
+			from, to := "?", "?"
+			if ps := m.Preds(); len(ps) == 1 {
+				from = ps[0].Label
+			}
+			if ss := m.Succs(); len(ss) == 1 {
+				to = ss[0].Label
+			}
+			tr.RecordDetail(obs.KindSplitEdge, m.Label, "", "", from+"->"+to)
+		}
+	}
 
 	var err error
 	if opt.Hot != nil || opt.NoIncremental {
@@ -206,7 +241,21 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 	if errs := cfg.Validate(out); len(errs) > 0 {
 		return nil, st, fmt.Errorf("core: %s produced invalid graph: %s", opt.Mode, errs[0])
 	}
+	if opt.Collector != nil {
+		var opsDelta int64
+		if bitvec.OpCountEnabled() {
+			opsDelta = bitvec.OpCount() - ops0
+		}
+		st.Telemetry = opt.Collector.Snapshot(opsDelta)
+	}
 	return out, st, err
+}
+
+// recordSolve folds one throwaway block-level solve's stats into a
+// metrics sink — the reference driver's coarse accounting (its solvers
+// live for a single phase, so there is nothing incremental to report).
+func recordSolve(m *obs.SolverMetrics, kind obs.SolveKind, st dataflow.SolverStats, seedable int) {
+	m.RecordSolve(kind, st.NodeVisits, st.Pushes, st.Seeded, seedable, st.VecOps, st.Cancelled)
 }
 
 // runReference is the from-scratch driver loop: each phase rebuilds its
@@ -216,6 +265,12 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 // except after a verification rollback (the last accepted snapshot) or
 // a watchdog interrupt under verification (ditto).
 func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
+	col := opt.Collector
+	tr := col.Tracer()
+	elimAnalysis := "dead"
+	if opt.Mode == ModeFaint {
+		elimAnalysis = "faint"
+	}
 	var hot HotPredicate
 	if opt.Hot != nil {
 		hot = effectiveHot(opt.Hot)
@@ -227,16 +282,19 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 		case hot != nil:
 			return eliminateDeadHot(out, hot)
 		case opt.Mode == ModeFaint:
-			return EliminateFaint(out)
+			fr := analysis.FaintVarsObserve(out, out.CollectVars(), nil, col.FaintMetrics())
+			return eliminateFaintSolved(out, fr, nil, tr)
 		default:
-			return EliminateDead(out)
+			dr := analysis.DeadVars(out)
+			recordSolve(col.DeadMetrics(), obs.SolveFull, dr.Stats, out.NumNodes())
+			return eliminateDeadSolved(out, dr, nil, tr)
 		}
 	}
 	sink := func() SinkStats {
 		if hot != nil {
 			return sinkHot(out, hot)
 		}
-		return Sink(out)
+		return sinkObserved(out, tr, col.DelayMetrics())
 	}
 
 	wd := newWatchdog(opt)
@@ -253,6 +311,7 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 		}
 
 		faultinject.Fire(faultinject.EliminatePhase, out)
+		tr.BeginPhase(st.Rounds, "eliminate", elimAnalysis)
 		e := eliminate()
 		st.Eliminated += e.Removed
 		st.ElimSolverWork += e.SolverWork
@@ -267,6 +326,7 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 			return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
 		}
 
+		tr.BeginPhase(st.Rounds, "sink", "delay")
 		s := sink()
 		st.Inserted += s.InsertedEntry + s.InsertedExit
 		st.SinkRemoved += s.RemovedCandidates
@@ -345,6 +405,8 @@ func (d *dirtySet) take() []cfg.NodeID {
 func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 	vars := out.CollectVars()
 	pt := out.CollectPatterns()
+	col := opt.Collector
+	tr := col.Tracer()
 
 	wd := newWatchdog(opt)
 	rv := newRoundVerifier(opt, out)
@@ -352,11 +414,25 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 
 	delay := analysis.NewDelaySolver(out, pt)
 	delay.SetCancel(cancel)
+	delay.SetMetrics(col.DelayMetrics())
 	var deadSolver *analysis.DeadSolver
 	var faintRes *analysis.FaintResult
 	if opt.Mode == ModeDead {
 		deadSolver = analysis.NewDeadSolver(out, vars)
 		deadSolver.SetCancel(cancel)
+		deadSolver.SetMetrics(col.DeadMetrics())
+	}
+	if col != nil {
+		// The solvers live for the whole run; fold their arena slab
+		// state into the collector on every exit path.
+		defer func() {
+			a := delay.ArenaStats()
+			col.AddArena(a.Slabs, a.CapWords, a.UsedWords)
+			if deadSolver != nil {
+				a = deadSolver.ArenaStats()
+				col.AddArena(a.Slabs, a.CapWords, a.UsedWords)
+			}
+		}()
 	}
 
 	// pendElim holds blocks changed since the elimination analysis
@@ -385,24 +461,27 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		faultinject.Fire(faultinject.EliminatePhase, out)
 		var e ElimStats
 		if opt.Mode == ModeFaint {
+			tr.BeginPhase(st.Rounds, "eliminate", "faint")
 			if faintRes == nil || !pendElim.empty() {
-				faintRes = analysis.FaintVarsCancel(out, vars, cancel)
+				faintRes = analysis.FaintVarsObserve(out, vars, cancel, col.FaintMetrics())
 				if faintRes.Cancelled {
 					faintRes = nil
 					return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
 				}
 				pendElim.take()
-				e = eliminateFaintSolved(out, faintRes, onChange)
+				e = eliminateFaintSolved(out, faintRes, onChange, tr)
 			} else {
-				e = eliminateFaintSolved(out, faintRes, onChange)
+				col.FaintMetrics().RecordCacheHit()
+				e = eliminateFaintSolved(out, faintRes, onChange, tr)
 				e.SolverWork = 0 // cached solution, no new work
 			}
 		} else {
+			tr.BeginPhase(st.Rounds, "eliminate", "dead")
 			res := deadSolver.Solve(pendElim.take())
 			if res.Stats.Cancelled {
 				return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
 			}
-			e = eliminateDeadSolved(out, res, onChange)
+			e = eliminateDeadSolved(out, res, onChange, tr)
 		}
 		st.Eliminated += e.Removed
 		st.ElimSolverWork += e.SolverWork
@@ -421,11 +500,12 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		if wd.expired() {
 			return rv.best(out), wd.interrupt(st.Rounds, "sink")
 		}
+		tr.BeginPhase(st.Rounds, "sink", "delay")
 		dres := delay.Solve(pendSink.take())
 		if dres.Stats.Cancelled {
 			return rv.best(out), wd.interrupt(st.Rounds, "sink")
 		}
-		s := applySink(out, pt, delay.Locals(), dres, onChange)
+		s := applySink(out, pt, delay.Locals(), dres, onChange, tr)
 		st.Inserted += s.InsertedEntry + s.InsertedExit
 		st.SinkRemoved += s.RemovedCandidates
 		st.SinkSolverWork += s.SolverVisits

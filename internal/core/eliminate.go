@@ -4,6 +4,7 @@ import (
 	"pdce/internal/analysis"
 	"pdce/internal/cfg"
 	"pdce/internal/ir"
+	"pdce/internal/obs"
 )
 
 // ElimStats describes one application of an elimination step.
@@ -28,14 +29,15 @@ func (s ElimStats) Changed() bool { return s.Removed > 0 }
 // up front; cascading effects (elimination-elimination, Section 4.4)
 // are second-order and handled by the driver's re-iteration.
 func EliminateDead(g *cfg.Graph) ElimStats {
-	return eliminateDeadSolved(g, analysis.DeadVars(g), nil)
+	return eliminateDeadSolved(g, analysis.DeadVars(g), nil, nil)
 }
 
 // eliminateDeadSolved applies the elimination step justified by an
 // already-solved dead-variable analysis. changed, when non-nil, is
 // called once for every block whose statement list was altered — the
-// dirty-set feed of the incremental driver.
-func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*cfg.Node)) ElimStats {
+// dirty-set feed of the incremental driver. tr, when non-nil, receives
+// one provenance event per removed assignment.
+func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*cfg.Node), tr *obs.Trace) ElimStats {
 	var st ElimStats
 	st.SolverWork = dead.Stats.NodeVisits
 	var idx []int
@@ -55,6 +57,11 @@ func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*
 			if j >= 0 && idx[j] == si {
 				j--
 				st.Removed++
+				if tr != nil {
+					if p, ok := ir.PatternOf(s); ok {
+						tr.Record(obs.KindEliminate, n.Label, string(p.LHS), p.String())
+					}
+				}
 				continue
 			}
 			kept = append(kept, s)
@@ -73,13 +80,13 @@ func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*
 // dce removal is also an fce removal; fce additionally removes
 // mutually-sustaining useless assignments (Figure 9, Figure 12).
 func EliminateFaint(g *cfg.Graph) ElimStats {
-	return eliminateFaintSolved(g, analysis.FaintVars(g), nil)
+	return eliminateFaintSolved(g, analysis.FaintVars(g), nil, nil)
 }
 
 // eliminateFaintSolved applies the elimination step justified by an
 // already-solved faint-variable analysis. The solution must describe
 // g's current statement layout (the flat program indexes into it).
-func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed func(*cfg.Node)) ElimStats {
+func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed func(*cfg.Node), tr *obs.Trace) ElimStats {
 	var st ElimStats
 	st.SolverWork = faint.SlotUpdates
 	for _, n := range g.Nodes() {
@@ -91,6 +98,11 @@ func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed fun
 		for si, s := range n.Stmts {
 			if a, ok := s.(ir.Assign); ok && faint.FaintAfter(n, si, a.LHS) {
 				removed++
+				if tr != nil {
+					if p, pok := ir.PatternOf(s); pok {
+						tr.Record(obs.KindEliminate, n.Label, string(p.LHS), p.String())
+					}
+				}
 				continue
 			}
 			kept = append(kept, s)

@@ -59,7 +59,7 @@ func sinkHot(g *cfg.Graph, hot HotPredicate) SinkStats {
 	locals := analysis.ComputeLocals(g, pt)
 	restrictLocals(g, locals, hot)
 	delay := analysis.DelayabilityWithLocals(g, locals)
-	return applySink(g, pt, locals, delay, nil)
+	return applySink(g, pt, locals, delay, nil, nil)
 }
 
 // eliminateDeadHot is EliminateDead restricted to hot blocks. The

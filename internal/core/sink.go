@@ -14,6 +14,7 @@ import (
 	"pdce/internal/analysis"
 	"pdce/internal/cfg"
 	"pdce/internal/ir"
+	"pdce/internal/obs"
 )
 
 // SinkStats describes one application of the assignment sinking
@@ -53,10 +54,18 @@ func (s SinkStats) Changed() bool {
 // insertions — which the placement below relies on for blocks ending
 // in a Branch — holds only then.
 func Sink(g *cfg.Graph) SinkStats {
+	return sinkObserved(g, nil, nil)
+}
+
+// sinkObserved is Sink with telemetry: tr receives the provenance
+// events of the rewrite, m the delayability solve's cost counters.
+// Both may be nil.
+func sinkObserved(g *cfg.Graph, tr *obs.Trace, m *obs.SolverMetrics) SinkStats {
 	pt := g.CollectPatterns()
 	locals := analysis.ComputeLocals(g, pt)
 	delay := analysis.DelayabilityWithLocals(g, locals)
-	return applySink(g, pt, locals, delay, nil)
+	recordSolve(m, obs.SolveFull, delay.Stats, g.NumNodes())
+	return applySink(g, pt, locals, delay, nil, tr)
 }
 
 // sinkScratch holds applySink's reusable per-block buffers.
@@ -79,7 +88,7 @@ type sinkScratch struct {
 // current program (the reference driver), and is equally computable
 // from a superset table carried across the whole run (the incremental
 // driver) — so both drivers emit identical text.
-func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult, changed func(*cfg.Node)) SinkStats {
+func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult, changed func(*cfg.Node), tr *obs.Trace) SinkStats {
 	var st SinkStats
 	st.SolverVisits = delay.Stats.NodeVisits
 	rank := occurrenceRanks(g, pt)
@@ -98,8 +107,13 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 		// Each statement is the candidate of at most its own
 		// pattern, so the remove and keep sets cannot collide.
 		locals.LocDelayed[n.ID].ForEach(func(pi int) {
-			if si := cand[pi]; si >= 0 && !xIns.Get(pi) {
-				sc.removeIdx = append(sc.removeIdx, si)
+			if si := cand[pi]; si >= 0 {
+				if !xIns.Get(pi) {
+					sc.removeIdx = append(sc.removeIdx, si)
+				} else if tr != nil {
+					p := pt.Pattern(pi)
+					tr.Record(obs.KindFuse, n.Label, string(p.LHS), p.String())
+				}
 			}
 		})
 		nIns.ForEach(func(pi int) {
@@ -121,10 +135,19 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 		for _, pi := range sc.entryPatterns {
 			newStmts = append(newStmts, pt.MakeAssign(pi))
 			st.InsertedEntry++
+			if tr != nil {
+				p := pt.Pattern(pi)
+				tr.Record(obs.KindInsertEntry, n.Label, string(p.LHS), p.String())
+			}
 		}
 		for si, s := range n.Stmts {
 			if containsInt(sc.removeIdx, si) {
 				st.RemovedCandidates++
+				if tr != nil {
+					if p, ok := ir.PatternOf(s); ok {
+						tr.Record(obs.KindSinkRemove, n.Label, string(p.LHS), p.String())
+					}
+				}
 				continue
 			}
 			newStmts = append(newStmts, s)
@@ -147,6 +170,10 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 			for _, pi := range sc.exitPatterns {
 				newStmts = append(newStmts, pt.MakeAssign(pi))
 				st.InsertedExit++
+				if tr != nil {
+					p := pt.Pattern(pi)
+					tr.Record(obs.KindInsertExit, n.Label, string(p.LHS), p.String())
+				}
 			}
 			newStmts = append(newStmts, tail...)
 		}

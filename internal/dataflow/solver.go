@@ -25,6 +25,7 @@ import (
 	"pdce/internal/bitvec"
 	"pdce/internal/cfg"
 	"pdce/internal/faultinject"
+	"pdce/internal/obs"
 )
 
 // Direction of a dataflow problem.
@@ -101,6 +102,13 @@ type SolverStats struct {
 	// all nodes for a full solve, only the affected region for an
 	// incremental one.
 	Seeded int
+	// Pushes is the number of worklist insertions: the seeds plus
+	// every requeue caused by a changed solution value.
+	Pushes int
+	// VecOps counts the bulk bit-vector operations the solve
+	// performed (meet folds, transfer evaluations, change tests,
+	// result copies).
+	VecOps int
 	// Cancelled reports that the solve was interrupted by the
 	// solver's cancellation check before reaching the fixpoint. A
 	// cancelled solution is PARTIAL — still above the greatest
@@ -144,7 +152,8 @@ type Solver struct {
 	affected []bool // scratch for Resolve's region marking
 	solved   bool
 
-	cancel func() bool
+	cancel  func() bool
+	metrics *obs.SolverMetrics
 }
 
 // SetCancel installs a cancellation check consulted periodically while
@@ -153,6 +162,23 @@ type Solver struct {
 // early: the result is marked Cancelled, is not a fixpoint, and must
 // be discarded; the solver re-solves in full on its next use.
 func (s *Solver) SetCancel(cancel func() bool) { s.cancel = cancel }
+
+// SetMetrics installs a telemetry sink that every subsequent solve
+// reports into (visits, pushes, seeding, vector ops, solve kind). A
+// nil sink — the default — keeps the solver silent.
+func (s *Solver) SetMetrics(m *obs.SolverMetrics) { s.metrics = m }
+
+// ArenaStats exposes the solution-storage arena's slab statistics.
+func (s *Solver) ArenaStats() bitvec.ArenaStats { return s.arena.Stats() }
+
+// flush reports a completed solve to the metrics sink, if any.
+func (s *Solver) flush(kind obs.SolveKind) {
+	if s.metrics == nil {
+		return
+	}
+	st := s.res.Stats
+	s.metrics.RecordSolve(kind, st.NodeVisits, st.Pushes, st.Seeded, s.g.NumNodes(), st.VecOps, st.Cancelled)
+}
 
 // cancelCheckStride is how many node visits pass between cancellation
 // checks. Small enough that a watchdog fires promptly even on huge
@@ -199,9 +225,10 @@ func (s *Solver) Full() *Result {
 		s.queue = append(s.queue, node)
 		s.inQueue[node.ID] = true
 	}
-	s.res.Stats = SolverStats{Seeded: len(s.queue)}
+	s.res.Stats = SolverStats{Seeded: len(s.queue), Pushes: len(s.queue)}
 	s.run()
 	s.solved = !s.res.Stats.Cancelled
+	s.flush(obs.SolveFull)
 	return &s.res
 }
 
@@ -226,6 +253,9 @@ func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
 	}
 	if len(dirty) == 0 {
 		s.res.Stats = SolverStats{}
+		if s.metrics != nil {
+			s.metrics.RecordCacheHit()
+		}
 		return &s.res
 	}
 
@@ -270,11 +300,12 @@ func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
 		s.inQueue[node.ID] = true
 	}
 	s.applyBoundary()
-	s.res.Stats = SolverStats{Seeded: len(s.queue)}
+	s.res.Stats = SolverStats{Seeded: len(s.queue), Pushes: len(s.queue)}
 	s.run()
 	if s.res.Stats.Cancelled {
 		s.solved = false
 	}
+	s.flush(obs.SolveIncremental)
 	return &s.res
 }
 
@@ -295,7 +326,9 @@ func (s *Solver) run() {
 	g := s.g
 	intersect := p.Meet() == Intersect
 
+	vecOps, pushes := 0, 0
 	meetInto := func(dst, src *bitvec.Vector) {
+		vecOps++
 		if intersect {
 			dst.And(src)
 		} else {
@@ -327,18 +360,22 @@ func (s *Solver) run() {
 				in := res.In[node.ID]
 				if preds := node.Preds(); len(preds) > 0 {
 					in.CopyFrom(res.Out[preds[0].ID])
+					vecOps++
 					for _, pr := range preds[1:] {
 						meetInto(in, res.Out[pr.ID])
 					}
 				}
 			}
 			p.Transfer(node, res.In[node.ID], s.tmp)
+			vecOps += 2 // the transfer evaluation and the change test
 			if !s.tmp.Equal(res.Out[node.ID]) {
 				res.Out[node.ID].CopyFrom(s.tmp)
+				vecOps++
 				for _, succ := range node.Succs() {
 					if !s.inQueue[succ.ID] {
 						s.inQueue[succ.ID] = true
 						s.queue = append(s.queue, succ)
+						pushes++
 					}
 				}
 			}
@@ -347,24 +384,30 @@ func (s *Solver) run() {
 				out := res.Out[node.ID]
 				if succs := node.Succs(); len(succs) > 0 {
 					out.CopyFrom(res.In[succs[0].ID])
+					vecOps++
 					for _, succ := range succs[1:] {
 						meetInto(out, res.In[succ.ID])
 					}
 				}
 			}
 			p.Transfer(node, res.Out[node.ID], s.tmp)
+			vecOps += 2 // the transfer evaluation and the change test
 			if !s.tmp.Equal(res.In[node.ID]) {
 				res.In[node.ID].CopyFrom(s.tmp)
+				vecOps++
 				for _, pr := range node.Preds() {
 					if !s.inQueue[pr.ID] {
 						s.inQueue[pr.ID] = true
 						s.queue = append(s.queue, pr)
+						pushes++
 					}
 				}
 			}
 		}
 	}
 	s.queue = s.queue[:0]
+	res.Stats.Pushes += pushes
+	res.Stats.VecOps += vecOps
 	if n := g.NumNodes(); n > 0 {
 		res.Stats.Passes = (res.Stats.NodeVisits + n - 1) / n
 	}

@@ -1,0 +1,138 @@
+package obs
+
+import "sync"
+
+// Event kinds. Together they cover every way the fixpoint driver
+// touches an assignment, so the ordered stream of one run is a full
+// provenance record: follow one pattern's events and you watch it be
+// carried to an insertion frontier (sink-remove + insert-*), pinned in
+// place (fuse), or removed for good (eliminate, or a sink-remove with
+// no matching insert — the assignment was dead along all of its
+// remaining paths and sank off the program).
+const (
+	// KindSplitEdge records a synthetic node inserted by
+	// critical-edge splitting during setup (round 0). Block is the
+	// synthetic node's label, Detail the "from->to" edge it split.
+	KindSplitEdge = "split-edge"
+
+	// KindEliminate records an assignment removed by a dead or faint
+	// elimination step (Analysis says which justified it).
+	KindEliminate = "eliminate"
+
+	// KindSinkRemove records a sinking-candidate occurrence taken
+	// out of its block by the sinking transformation.
+	KindSinkRemove = "sink-remove"
+
+	// KindInsertEntry and KindInsertExit record a materialized
+	// instance of a pattern at a block boundary — the frontier where
+	// delaying had to stop.
+	KindInsertEntry = "insert-entry"
+	KindInsertExit  = "insert-exit"
+
+	// KindFuse records the stability case: a candidate whose removal
+	// and exit-insertion cancelled, leaving the occurrence in place
+	// (Section 5.4's X-INSERT = LOCDELAYED invariance).
+	KindFuse = "fuse"
+)
+
+// Event is one provenance record.
+type Event struct {
+	// Seq is the global 0-based event order within the run.
+	Seq int `json:"seq"`
+	// Round is the 1-based driver round (0 for setup events); Phase
+	// is "setup", "eliminate", or "sink".
+	Round int    `json:"round"`
+	Phase string `json:"phase"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Analysis names the analysis that justified the step: "dead" or
+	// "faint" for eliminations, "delay" for sinking events.
+	Analysis string `json:"analysis,omitempty"`
+	// Var is the left-hand-side variable of the affected assignment;
+	// Pattern its full "x := t" pattern.
+	Var     string `json:"var,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	// Block is the label of the block the event happened in (the
+	// destination block for insertions).
+	Block string `json:"block"`
+	// Detail carries kind-specific context (the split edge).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is an append-only provenance event buffer. All methods are
+// nil-safe and concurrency-safe.
+type Trace struct {
+	mu       sync.Mutex
+	seq      int
+	round    int
+	phase    string
+	analysis string
+	events   []Event
+}
+
+// BeginPhase sets the (round, phase, analysis) context stamped onto
+// subsequent Record calls, so the recording sites inside the
+// transformation kernels do not need to thread driver state.
+func (t *Trace) BeginPhase(round int, phase, analysis string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.round, t.phase, t.analysis = round, phase, analysis
+	t.mu.Unlock()
+}
+
+// Record appends one event in the current phase context.
+func (t *Trace) Record(kind, block, variable, pattern string) {
+	t.record(kind, block, variable, pattern, "")
+}
+
+// RecordDetail is Record with a kind-specific detail string.
+func (t *Trace) RecordDetail(kind, block, variable, pattern, detail string) {
+	t.record(kind, block, variable, pattern, detail)
+}
+
+func (t *Trace) record(kind, block, variable, pattern, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Seq:      t.seq,
+		Round:    t.round,
+		Phase:    t.phase,
+		Kind:     kind,
+		Analysis: t.analysis,
+		Var:      variable,
+		Pattern:  pattern,
+		Block:    block,
+		Detail:   detail,
+	})
+	t.seq++
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded stream in order. Nil-safe.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events. Nil-safe.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

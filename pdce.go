@@ -53,6 +53,7 @@ import (
 	"pdce/internal/interp"
 	"pdce/internal/ir"
 	"pdce/internal/lcm"
+	"pdce/internal/obs"
 	"pdce/internal/parser"
 	"pdce/internal/progen"
 	"pdce/internal/ssa"
@@ -188,21 +189,64 @@ type Options struct {
 	// created if missing; bundle write failures are reported in the
 	// *PanicError, never as a separate failure.
 	ReproDir string
+
+	// Telemetry enables cost-counter collection: per-analysis solver
+	// metrics (solves, node visits, worklist pushes, incremental-reuse
+	// rate, bit-vector ops) and arena slab statistics, returned as
+	// Stats.Telemetry. Off by default; when off, the optimizer's hot
+	// path is byte-identical to an uninstrumented build.
+	Telemetry bool
+	// Trace additionally records the provenance event stream — one
+	// structured event per split edge, elimination, sinking-candidate
+	// removal, insertion, and fusion — in Stats.Telemetry.Events.
+	// Implies Telemetry. Tracing allocates per event; leave it off in
+	// performance measurements.
+	Trace bool
 }
+
+// Telemetry is the observability section of a run: per-analysis solver
+// metrics, arena slab statistics, and (with Options.Trace) the
+// provenance event stream. See the internal/obs package documentation
+// for field semantics; the type serializes to stable JSON.
+type Telemetry = obs.Telemetry
+
+// SolverMetrics is one analysis's frozen cost counters.
+type SolverMetrics = obs.SolverSnapshot
+
+// TraceEvent is one provenance record of Telemetry.Events.
+type TraceEvent = obs.Event
+
+// Provenance event kinds (TraceEvent.Kind).
+const (
+	EventSplitEdge   = obs.KindSplitEdge
+	EventEliminate   = obs.KindEliminate
+	EventSinkRemove  = obs.KindSinkRemove
+	EventInsertEntry = obs.KindInsertEntry
+	EventInsertExit  = obs.KindInsertExit
+	EventFuse        = obs.KindFuse
+)
 
 // Stats reports what an optimization run did.
 type Stats struct {
 	// Rounds is the number of eliminate+sink rounds (the paper's r).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Eliminated counts assignments removed by elimination steps;
 	// SinkRemoved/Inserted count the sinking transformation's
 	// removals and materializations.
-	Eliminated, SinkRemoved, Inserted int
+	Eliminated  int `json:"eliminated"`
+	SinkRemoved int `json:"sink_removed"`
+	Inserted    int `json:"inserted"`
 	// CriticalEdges is the number of edges split up front.
-	CriticalEdges int
+	CriticalEdges int `json:"critical_edges"`
 	// OriginalStmts/FinalStmts/PeakStmts track code size; the
 	// paper's growth factor w is PeakStmts/OriginalStmts.
-	OriginalStmts, FinalStmts, PeakStmts int
+	OriginalStmts int `json:"original_stmts"`
+	FinalStmts    int `json:"final_stmts"`
+	PeakStmts     int `json:"peak_stmts"`
+
+	// Telemetry is present exactly when Options.Telemetry (or Trace)
+	// was set.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // GrowthFactor returns the paper's w.
@@ -223,6 +267,7 @@ func fromCoreStats(st core.Stats) Stats {
 		OriginalStmts: st.OriginalStmts,
 		FinalStmts:    st.FinalStmts,
 		PeakStmts:     st.PeakStmts,
+		Telemetry:     st.Telemetry,
 	}
 }
 
@@ -236,14 +281,17 @@ func (o Options) coreOptions() core.Options {
 		Ctx:           o.Context,
 		RoundBudget:   o.RoundBudget,
 	}
+	if o.Telemetry || o.Trace {
+		copt.Collector = obs.NewCollector(o.Trace)
+	}
 	if o.Hot != nil {
 		hot := o.Hot
 		copt.Hot = func(n *cfg.Node) bool { return hot(n.Label) }
 	}
 	if o.Observe != nil {
-		obs := o.Observe
+		observe := o.Observe
 		copt.Observe = func(ev core.PhaseEvent) {
-			obs(ev.Round, ev.Phase, ev.Changed, ev.Graph.String())
+			observe(ev.Round, ev.Phase, ev.Changed, ev.Graph.String())
 		}
 	}
 	return copt
@@ -288,6 +336,11 @@ type BatchResult struct {
 	Program *Program
 	Stats   Stats
 	Err     error
+
+	// Duration is the job's wall-clock optimization time; Worker the
+	// 0-based pool worker that ran it (-1 for jobs never started).
+	Duration time.Duration
+	Worker   int
 }
 
 // OptimizeAll optimizes every program concurrently with at most
@@ -305,6 +358,19 @@ type BatchResult struct {
 // dispatch — jobs not yet started report the context's error with a
 // nil Program — and the worker pool always drains before returning.
 func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
+	results, _ := OptimizeAllObserved(programs, o, workers, nil)
+	return results
+}
+
+// OptimizeAllObserved is OptimizeAll with batch observability: tk, when
+// non-nil, publishes live progress while the pool runs (poll
+// tk.Snapshot from another goroutine), and the returned BatchMetrics
+// aggregates the finished batch — failure classes, latency percentiles
+// (p50/p95/max), and per-worker load. Each job collects its own
+// telemetry when Options.Telemetry or Options.Trace is set: collectors
+// are created per job, never shared, so per-program Stats.Telemetry is
+// exact even under full concurrency.
+func OptimizeAllObserved(programs []*Program, o Options, workers int, tk *BatchTracker) ([]BatchResult, BatchMetrics) {
 	jobs := make([]batch.Job, len(programs))
 	for i, p := range programs {
 		copt := o.coreOptions()
@@ -317,10 +383,10 @@ func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := batch.RunContext(ctx, jobs, workers)
+	res := batch.RunObserved(ctx, jobs, workers, tk)
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
-		out[i] = BatchResult{Name: r.Name}
+		out[i] = BatchResult{Name: r.Name, Duration: r.Duration, Worker: r.Worker}
 		if r.Graph != nil {
 			out[i].Program = &Program{g: r.Graph}
 			out[i].Stats = fromCoreStats(r.Stats)
@@ -339,7 +405,7 @@ func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
 			out[i].Err = mapCoreError(r.Err)
 		}
 	}
-	return out
+	return out, batch.ComputeMetrics(res)
 }
 
 // PDE runs partial dead code elimination to its optimum.

@@ -1,0 +1,116 @@
+package pdce
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pdce/internal/batch"
+)
+
+// Report is the machine-readable record of one optimization run — the
+// payload behind cmd/pdce's -metrics-json. Stats embeds the telemetry
+// section when the run collected it.
+type Report struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// OK is false when the run returned an error; Error carries its
+	// text (partial results keep their Stats alongside it).
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Stats Stats  `json:"stats"`
+	// DurationNS is the wall-clock optimization time when known
+	// (batch runs stamp it; single runs may leave it 0).
+	DurationNS int64 `json:"duration_ns,omitempty"`
+}
+
+// MakeReport assembles a run report.
+func MakeReport(name string, mode Mode, st Stats, d time.Duration, err error) Report {
+	r := Report{
+		Name:       name,
+		Mode:       mode.String(),
+		OK:         err == nil,
+		Stats:      st,
+		DurationNS: int64(d),
+	}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	return r
+}
+
+// BatchMetrics aggregates a finished batch: failure classes, latency
+// percentiles, per-worker load. See internal/batch for field docs.
+type BatchMetrics = batch.Metrics
+
+// BatchProgress is a live snapshot of a running batch.
+type BatchProgress = batch.Progress
+
+// BatchTracker publishes live progress of OptimizeAllObserved; poll
+// Snapshot from another goroutine (cmd/pdce serves it over HTTP).
+type BatchTracker = batch.Tracker
+
+// BatchReport is the machine-readable record of a whole batch run.
+type BatchReport struct {
+	Programs []Report     `json:"programs"`
+	Batch    BatchMetrics `json:"batch"`
+}
+
+// --- provenance explanation -----------------------------------------
+
+// Explain extracts one variable's provenance chain from a traced run:
+// every event whose assignment targets the variable, in stream order.
+// The chain reads as the assignment's journey through the fixpoint —
+// sunk out of its block, materialized at insertion frontiers, fused in
+// place, and finally eliminated or dropped (a removal with no matching
+// insertion means the assignment was dead on all remaining paths and
+// sank off the program). Returns nil when the run was not traced or
+// never touched the variable.
+func Explain(t *Telemetry, variable string) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	var chain []TraceEvent
+	for _, ev := range t.Events {
+		if ev.Var == variable {
+			chain = append(chain, ev)
+		}
+	}
+	return chain
+}
+
+// FormatExplain renders a provenance chain as human-readable lines.
+func FormatExplain(variable string, chain []TraceEvent) string {
+	if len(chain) == 0 {
+		return fmt.Sprintf("%s: no provenance events (assignments to it were never moved or removed)\n", variable)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "provenance of %s:\n", variable)
+	for _, ev := range chain {
+		fmt.Fprintf(&b, "  round %d %-9s %s", ev.Round, ev.Phase, describeEvent(ev))
+		if ev.Analysis != "" {
+			fmt.Fprintf(&b, "  [%s]", ev.Analysis)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func describeEvent(ev TraceEvent) string {
+	switch ev.Kind {
+	case EventEliminate:
+		return fmt.Sprintf("eliminated %q in block %s", ev.Pattern, ev.Block)
+	case EventSinkRemove:
+		return fmt.Sprintf("candidate %q removed from block %s", ev.Pattern, ev.Block)
+	case EventInsertEntry:
+		return fmt.Sprintf("instance %q inserted at entry of block %s", ev.Pattern, ev.Block)
+	case EventInsertExit:
+		return fmt.Sprintf("instance %q inserted at exit of block %s", ev.Pattern, ev.Block)
+	case EventFuse:
+		return fmt.Sprintf("candidate %q kept in place in block %s (removal and insertion cancelled)", ev.Pattern, ev.Block)
+	case EventSplitEdge:
+		return fmt.Sprintf("synthetic block %s splits edge %s", ev.Block, ev.Detail)
+	default:
+		return fmt.Sprintf("%s %q in block %s", ev.Kind, ev.Pattern, ev.Block)
+	}
+}
