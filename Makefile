@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry ci
+.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry smoke-server ci
 
 all: build
 
@@ -41,9 +41,18 @@ smoke-telemetry:
 	$(GO) run ./cmd/pdce -stats -metrics-json /dev/null -workers 2 testdata/corpus > /dev/null
 	$(GO) run ./cmd/pdce -explain sq testdata/corpus/stats.while | grep -q 'eliminated'
 
+# Serving smoke: boot a real pdced daemon on an ephemeral port,
+# optimize a corpus file through the client twice (the second request
+# must be a content-addressed cache hit), then drain it cleanly with a
+# synthesized SIGTERM. The server-package end-to-end tests (cache
+# byte-identity, 429 shedding, graceful drain) ride along.
+smoke-server:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/pdced
+	$(GO) test -race -count=1 -run 'TestCacheHitByteIdentical|TestQueueSaturation|TestGracefulDrain|TestPanic500NeverPoisonsCache' ./internal/server
+
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the containment
-# fuzz smoke, and the telemetry smoke.
-ci: vet build race bench fuzz smoke-telemetry
+# fuzz smoke, and the telemetry and serving smokes.
+ci: vet build race bench fuzz smoke-telemetry smoke-server

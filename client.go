@@ -1,0 +1,195 @@
+package pdce
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a small HTTP client for the pdced optimization service.
+// The zero value is not usable; construct with NewClient. Methods are
+// safe for concurrent use (the underlying http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the pdced server at baseURL (e.g.
+// "http://localhost:8723"). A trailing slash is tolerated.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// WithHTTPClient substitutes the transport (custom timeouts, test
+// doubles) and returns the same client for chaining.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// RequestOptions configures one Optimize call. The zero value requests
+// a plain pde run with the server's default deadline.
+type RequestOptions struct {
+	// Mode selects pde (Dead, the default) or pfe (Faint).
+	Mode Mode
+	// MaxRounds truncates the fixpoint (0 = optimum).
+	MaxRounds int
+	// Deadline bounds this request's optimization (0 = the server's
+	// default). On expiry the server returns the best partial result,
+	// marked Degraded.
+	Deadline time.Duration
+	// Telemetry includes solver metrics in the response's Stats; Trace
+	// additionally records provenance events (implied by Explain).
+	Telemetry bool
+	Trace     bool
+	// Explain asks for the named variable's provenance report.
+	Explain string
+	// Lang forces the input language ("cfg" or "while"; empty =
+	// auto-detect).
+	Lang string
+}
+
+// Optimize submits one program and returns the optimized result plus
+// the cache state from the X-Pdced-Cache header. Non-2xx responses
+// return a *ServerError; a Degraded response (deadline, rollback) is
+// returned as a result, not an error — check resp.Degraded.
+func (c *Client) Optimize(ctx context.Context, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, error) {
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	q.Set("mode", o.Mode.String())
+	if o.MaxRounds > 0 {
+		q.Set("max_rounds", strconv.Itoa(o.MaxRounds))
+	}
+	if o.Deadline > 0 {
+		q.Set("deadline_ms", strconv.FormatInt(o.Deadline.Milliseconds(), 10))
+	}
+	if o.Telemetry {
+		q.Set("telemetry", "1")
+	}
+	if o.Trace {
+		q.Set("trace", "1")
+	}
+	if o.Explain != "" {
+		q.Set("explain", o.Explain)
+	}
+	if o.Lang != "" {
+		q.Set("lang", o.Lang)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/optimize?"+q.Encode(), strings.NewReader(source))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", decodeServerError(resp)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, "", fmt.Errorf("pdced: decoding optimize response: %w", err)
+	}
+	return &out, CacheState(resp.Header.Get("X-Pdced-Cache")), nil
+}
+
+// OptimizeBatch submits a batch of programs in one request. Per-program
+// failures (parse errors, shed jobs, degraded results) are reported in
+// the entries, not as a call error.
+func (c *Client) OptimizeBatch(ctx context.Context, breq BatchOptimizeRequest) (*BatchOptimizeResponse, error) {
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/optimize/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+	var out BatchOptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdced: decoding batch response: %w", err)
+	}
+	return &out, nil
+}
+
+// Health probes GET /healthz and returns the reported status ("ok" or
+// "draining"). A draining server reports its status without error; a
+// transport failure returns one.
+func (c *Client) Health(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", fmt.Errorf("pdced: decoding health response: %w", err)
+	}
+	return h.Status, nil
+}
+
+// Metrics fetches GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (*ServerMetrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+	var m ServerMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("pdced: decoding metrics response: %w", err)
+	}
+	return &m, nil
+}
+
+// decodeServerError turns a non-2xx response into a *ServerError,
+// tolerating non-JSON bodies (proxies, panics before the handler).
+func decodeServerError(resp *http.Response) error {
+	se := &ServerError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			se.RetryAfter = n
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(body, se); err != nil || se.Message == "" {
+		se.Message = strings.TrimSpace(string(body))
+		if se.Message == "" {
+			se.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	return se
+}

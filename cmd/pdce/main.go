@@ -416,11 +416,11 @@ func runBatch(paths []string) error {
 
 	var tk pdce.BatchTracker
 	if *teleAddr != "" {
-		srv, addr, err := serveProgress(*teleAddr, &tk)
+		shutdown, addr, err := serveProgress(*teleAddr, &tk)
 		if err != nil {
 			return fmt.Errorf("-telemetry-addr: %w", err)
 		}
-		defer srv.Close()
+		defer shutdown()
 		fmt.Fprintf(os.Stderr, "pdce: serving batch progress on http://%s/progress\n", addr)
 	}
 
@@ -506,8 +506,13 @@ func runBatch(paths []string) error {
 
 // serveProgress starts the batch telemetry endpoint: GET /progress on
 // the given address returns the tracker's live snapshot as JSON. The
-// caller closes the returned server when the batch is done.
-func serveProgress(addr string, tk *pdce.BatchTracker) (*http.Server, net.Addr, error) {
+// caller invokes the returned shutdown function when the batch is
+// done; it closes the listener as well as the server, because
+// srv.Close only closes listeners Serve has already registered — when
+// the batch finishes quickly, Close can win the race against the
+// Serve goroutine and leave the port bound for the life of the
+// process.
+func serveProgress(addr string, tk *pdce.BatchTracker) (shutdown func(), laddr net.Addr, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
@@ -519,7 +524,10 @@ func serveProgress(addr string, tk *pdce.BatchTracker) (*http.Server, net.Addr, 
 	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	return func() {
+		srv.Close()
+		ln.Close()
+	}, ln.Addr(), nil
 }
 
 // pdeOptions assembles the pde/pfe options shared by single-file and

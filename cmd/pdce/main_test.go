@@ -373,11 +373,11 @@ func TestRunObservabilityGuards(t *testing.T) {
 // returns the tracker snapshot as JSON.
 func TestServeProgress(t *testing.T) {
 	var tk pdce.BatchTracker
-	srv, addr, err := serveProgress("127.0.0.1:0", &tk)
+	shutdown, addr, err := serveProgress("127.0.0.1:0", &tk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer shutdown()
 	resp, err := http.Get("http://" + addr.String() + "/progress")
 	if err != nil {
 		t.Fatal(err)
@@ -392,6 +392,29 @@ func TestServeProgress(t *testing.T) {
 	}
 	if p.Total != 0 || p.Done != 0 {
 		t.Errorf("fresh tracker snapshot = %+v", p)
+	}
+}
+
+// TestServeProgressReleasesPort is the regression test for the
+// -telemetry-addr listener leak: shutting the endpoint down
+// immediately after starting it (a fast batch) could race srv.Close
+// against the Serve goroutine and leave the port bound. Rebinding the
+// same fixed port across many start/stop cycles fails within a few
+// iterations if the listener leaks.
+func TestServeProgressReleasesPort(t *testing.T) {
+	var tk pdce.BatchTracker
+	shutdown, addr, err := serveProgress("127.0.0.1:0", &tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := addr.String()
+	shutdown()
+	for i := 0; i < 20; i++ {
+		shutdown, _, err := serveProgress(port, &tk)
+		if err != nil {
+			t.Fatalf("iteration %d: port %s still bound: %v", i, port, err)
+		}
+		shutdown()
 	}
 }
 

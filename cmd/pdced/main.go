@@ -1,0 +1,121 @@
+// Command pdced is the long-running optimization service: it accepts
+// programs over HTTP (single and batch), optimizes them through the
+// failure-contained pdce pipeline, and memoizes results in a
+// content-addressed cache (the transformation is deterministic, so
+// identical inputs are served without re-solving).
+//
+// Usage:
+//
+//	pdced -addr localhost:8723 -spill-dir /var/cache/pdced
+//
+// Endpoints:
+//
+//	POST /optimize        optimize one program (body = source text)
+//	POST /optimize/batch  optimize many programs (JSON body)
+//	GET  /healthz         liveness (green even while load shedding)
+//	GET  /metrics         cache, queue, and latency counters
+//
+// Examples:
+//
+//	curl -s -X POST --data-binary @prog.while 'localhost:8723/optimize?telemetry=1'
+//	curl -s -X POST --data-binary @prog.while 'localhost:8723/optimize?mode=pfe&deadline_ms=500'
+//	curl -s 'localhost:8723/metrics' | jq .cache.hit_rate
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new requests are
+// rejected with 503 (and /healthz turns red so load balancers stop
+// routing), every in-flight optimization runs to completion, then the
+// process exits 0. A second signal, or -drain-timeout expiring, forces
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdce/internal/server"
+)
+
+var (
+	addr         = flag.String("addr", "localhost:8723", "listen address")
+	cacheEntries = flag.Int("cache-entries", 4096, "in-memory result cache capacity (entries)")
+	spillDir     = flag.String("spill-dir", "", "directory for disk-spilled cache entries (warm results survive restarts; empty = memory only)")
+	maxInFlight  = flag.Int("max-inflight", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+	maxQueue     = flag.Int("max-queue", 0, "requests allowed to wait for a slot before shedding with 429 (0 = 4x max-inflight)")
+	deadline     = flag.Duration("deadline", 10*time.Second, "default per-request optimization deadline (0 = none; requests may override with deadline_ms)")
+	roundBudget  = flag.Duration("round-budget", 0, "watchdog bound per fixpoint round (0 = none)")
+	reproDir     = flag.String("repro-dir", "", "directory for repro bundles of contained optimizer panics")
+	batchWorkers = flag.Int("workers", 0, "worker pool size for /optimize/batch (0 = max-inflight)")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful drain waits for in-flight requests")
+)
+
+func main() {
+	flag.Parse()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdced:", err)
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	if err := serve(configFromFlags(), ln, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "pdced:", err)
+		os.Exit(1)
+	}
+}
+
+func configFromFlags() server.Config {
+	return server.Config{
+		CacheEntries:    *cacheEntries,
+		SpillDir:        *spillDir,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *deadline,
+		RoundBudget:     *roundBudget,
+		ReproDir:        *reproDir,
+		BatchWorkers:    *batchWorkers,
+	}
+}
+
+// serve runs the daemon on ln until a signal arrives, then drains:
+// the server stops admitting (503 + red /healthz), the HTTP layer
+// waits for in-flight requests, and the listener closes. Factored out
+// of main so tests can drive a real daemon on an ephemeral port with a
+// synthesized signal.
+func serve(cfg server.Config, ln net.Listener, sig <-chan os.Signal) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pdced: serving on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		ln.Close()
+		return err
+	case <-sig:
+	}
+
+	fmt.Fprintln(os.Stderr, "pdced: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Refuse new work first so the HTTP shutdown below only has to
+	// wait for requests that were already admitted.
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pdced:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "pdced: drained, exiting")
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdce"
+	"pdce/internal/server"
+)
+
+// TestServeSmoke is the end-to-end daemon smoke test behind `make
+// smoke-server`: start a real pdced on an ephemeral port, optimize a
+// corpus file through the client, prove the second request is a cache
+// hit, then shut down via a synthesized SIGTERM and assert a clean
+// drain.
+func TestServeSmoke(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/corpus/stats.while")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(server.Config{SpillDir: t.TempDir()}, ln, sig)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := pdce.NewClient("http://" + ln.Addr().String())
+	waitHealthy(t, ctx, client)
+
+	first, state, err := client.Optimize(ctx, "stats", string(src), pdce.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != pdce.CacheMiss || first.Program == "" {
+		t.Fatalf("first optimize: state %q, program %d bytes", state, len(first.Program))
+	}
+	second, state, err := client.Optimize(ctx, "stats", string(src), pdce.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != pdce.CacheHit {
+		t.Fatalf("second optimize: state %q, want hit", state)
+	}
+	if second.Program != first.Program || second.Key != first.Key {
+		t.Error("cached response differs from the computed one")
+	}
+
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Server.Optimizes != 1 || m.Server.CacheHits != 1 {
+		t.Errorf("metrics after two requests: optimizes=%d hits=%d, want 1/1",
+			m.Server.Optimizes, m.Server.CacheHits)
+	}
+
+	// SIGTERM: the daemon drains and serve returns nil.
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	// The port is actually released.
+	ln2, err := net.Listen("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("rebinding the daemon port after shutdown: %v", err)
+	}
+	ln2.Close()
+}
+
+func waitHealthy(t *testing.T, ctx context.Context, client *pdce.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if status, err := client.Health(ctx); err == nil && status == "ok" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}

@@ -1,0 +1,139 @@
+package pdce_test
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pdce"
+)
+
+// TestCacheKeyProperty is the content-addressing property test: over
+// 200 generated programs, any formatting perturbation of the source —
+// whitespace, indentation, comments, blank lines — must hash to the
+// same CacheKey, and a semantic edit (a changed assignment RHS) must
+// change it. This is the contract the pdced result cache stands on.
+func TestCacheKeyProperty(t *testing.T) {
+	const programs = 200
+	opts := pdce.Options{Mode: pdce.Dead}
+	edited := 0
+	for seed := 0; seed < programs; seed++ {
+		p := pdce.Generate(pdce.GenParams{
+			Seed:        int64(seed),
+			Stmts:       10 + seed%60,
+			Vars:        2 + seed%6,
+			Irreducible: seed%7 == 0,
+		})
+		src := p.Format()
+		base, err := pdce.ParseCFG(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparsing canonical format: %v", seed, err)
+		}
+		want := base.CacheKey(opts)
+
+		for pi, perturb := range perturbations {
+			mutated := perturb(src)
+			q, err := pdce.ParseCFG(mutated)
+			if err != nil {
+				t.Fatalf("seed %d perturbation %d broke the parse: %v\n%s", seed, pi, err, mutated)
+			}
+			if got := q.CacheKey(opts); got != want {
+				t.Errorf("seed %d perturbation %d changed the key: %s != %s", seed, pi, got, want)
+			}
+		}
+
+		if semantic, ok := semanticEdit(src); ok {
+			edited++
+			q, err := pdce.ParseCFG(semantic)
+			if err != nil {
+				t.Fatalf("seed %d semantic edit broke the parse: %v", seed, err)
+			}
+			if q.CacheKey(opts) == want {
+				t.Errorf("seed %d: semantic edit did not change the key\n%s", seed, semantic)
+			}
+		}
+	}
+	if edited < programs*9/10 {
+		t.Fatalf("semantic edit applied to only %d/%d programs — the negative half of the property is undertested", edited, programs)
+	}
+
+	// Option changes that affect the result (or its payload) must also
+	// change the key; option changes that cannot must not.
+	p := pdce.Generate(pdce.GenParams{Seed: 42, Stmts: 40})
+	base := p.CacheKey(pdce.Options{Mode: pdce.Dead})
+	if p.CacheKey(pdce.Options{Mode: pdce.Faint}) == base {
+		t.Error("pfe and pde share a key")
+	}
+	if p.CacheKey(pdce.Options{Mode: pdce.Dead, MaxRounds: 1}) == base {
+		t.Error("truncated and full runs share a key")
+	}
+	if p.CacheKey(pdce.Options{Mode: pdce.Dead, Telemetry: true}) == base {
+		t.Error("instrumented and plain runs share a key (payloads differ)")
+	}
+	if p.CacheKey(pdce.Options{Mode: pdce.Dead, Verify: true, VerifyRuns: 7}) != base {
+		t.Error("verified mode changed the key (it cannot change a successful result)")
+	}
+}
+
+// perturbations are semantics-preserving rewrites of canonical CFG
+// text. The "graph" header line is left alone — its quoted name is the
+// only token whitespace could leak into.
+var perturbations = []func(string) string{
+	// Interleave comments in both syntaxes.
+	func(s string) string {
+		lines := strings.Split(s, "\n")
+		out := []string{"# leading hash comment", "// leading slash comment"}
+		for i, l := range lines {
+			out = append(out, l)
+			if i%3 == 0 {
+				out = append(out, "  // interleaved comment")
+			}
+		}
+		return strings.Join(out, "\n")
+	},
+	// Blank lines everywhere.
+	func(s string) string {
+		return strings.ReplaceAll(s, "\n", "\n\n")
+	},
+	// Trailing whitespace on every line.
+	func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i := range lines {
+			if lines[i] != "" {
+				lines[i] += "   "
+			}
+		}
+		return strings.Join(lines, "\n")
+	},
+	// Tabs for indentation and doubled interior spacing (skipping the
+	// quoted graph-name line).
+	func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "graph ") {
+				continue
+			}
+			l = strings.ReplaceAll(l, " ", "  ")
+			if strings.HasPrefix(l, "    ") {
+				l = "\t" + strings.TrimLeft(l, " ")
+			}
+			lines[i] = l
+		}
+		return strings.Join(lines, "\n")
+	},
+}
+
+// assignLine matches an assignment statement inside a node body.
+var assignLine = regexp.MustCompile(`(?m)^(\s+\w+ := )(.+)$`)
+
+// semanticEdit changes the first assignment's RHS (t becomes t+1) —
+// a minimal semantic difference that must move the content address.
+func semanticEdit(src string) (string, bool) {
+	loc := assignLine.FindStringSubmatchIndex(src)
+	if loc == nil {
+		return "", false
+	}
+	rhs := src[loc[4]:loc[5]]
+	return src[:loc[4]] + fmt.Sprintf("(%s)+1", rhs) + src[loc[5]:], true
+}

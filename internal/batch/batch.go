@@ -82,6 +82,26 @@ func RunContext(ctx context.Context, jobs []Job, workers int) []Result {
 // non-nil, is updated as jobs start and finish — the feed behind the
 // batch progress endpoint of cmd/pdce. A nil tracker collects nothing.
 func RunObserved(ctx context.Context, jobs []Job, workers int, tk *Tracker) []Result {
+	return RunGated(ctx, jobs, workers, tk, nil)
+}
+
+// Gate is an admission controller consulted per job. The serving layer
+// passes its global admission here so a batch request cannot
+// monopolize capacity past the server-wide concurrency budget: each
+// pool worker acquires a slot before running a job and releases it
+// after. Acquire blocks until a slot is free, the queue rejects the
+// caller, or ctx is done; a non-nil error skips the job (it is
+// reported as that job's Result.Err with Worker -1, like a job the
+// pool never started). Implementations must be safe for concurrent
+// use from every pool worker.
+type Gate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
+// RunGated is RunObserved with a per-job admission gate (nil gate =
+// admit everything, identical to RunObserved).
+func RunGated(ctx context.Context, jobs []Job, workers int, tk *Tracker, gate Gate) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -101,8 +121,18 @@ func RunObserved(ctx context.Context, jobs []Job, workers int, tk *Tracker) []Re
 		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
+				if gate != nil {
+					if err := gate.Acquire(ctx); err != nil {
+						results[i] = Result{Name: jobs[i].Name, Err: err, Worker: -1}
+						tk.jobSkipped()
+						continue
+					}
+				}
 				tk.jobStarted()
 				results[i] = runJob(ctx, jobs[i], worker)
+				if gate != nil {
+					gate.Release()
+				}
 				tk.jobDone(results[i].Err != nil)
 			}
 		}(w)

@@ -40,6 +40,18 @@ const (
 	// Payload: the job name (string). Panicking here exercises the
 	// pool's per-job containment.
 	BatchJob Point = "batch/job"
+	// ServerRequest fires inside an admitted optimize request of the
+	// serving layer, after the admission slot is held and before the
+	// optimizer runs. Payload: the program name (string). Stalling
+	// here keeps the slot busy, filling the queue behind it — the seam
+	// for queue-saturation and graceful-drain tests.
+	ServerRequest Point = "server/request"
+	// ServerCacheLoad fires after a disk-spilled cache entry is read
+	// back, before its checksum is verified. Payload: *[]byte (the
+	// entry body) — a hook that flips bytes simulates on-disk
+	// corruption, which the cache must detect, quarantine, and treat
+	// as a miss rather than serve.
+	ServerCacheLoad Point = "server/cache-load"
 )
 
 // Hook receives every fired point. It may panic (the containment layer

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := NewAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Slot held: the next caller queues, the one after sheds.
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(ctx) }()
+	waitDepth(t, a, 1, 1)
+	if err := a.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: %v, want ErrQueueFull", err)
+	}
+	a.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release()
+	if active, q := a.Depth(); active != 0 || q != 0 {
+		t.Errorf("depth after release: %d/%d", active, q)
+	}
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx) }()
+	waitDepth(t, a, 1, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v", err)
+	}
+	// The abandoned queue position is returned: the queue is empty and
+	// the freed slot is acquirable again.
+	a.Release()
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("reacquire after cancel: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionConcurrentNoOveradmission(t *testing.T) {
+	const slots, queue, callers = 3, 2, 40
+	a := NewAdmission(slots, queue)
+	var mu sync.Mutex
+	cur, max, rejected := 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Acquire(context.Background()); err != nil {
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > max {
+				max = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			a.Release()
+		}()
+	}
+	wg.Wait()
+	if max > slots {
+		t.Errorf("%d concurrent holders, bound is %d", max, slots)
+	}
+	if rejected == 0 {
+		t.Error("no caller was shed despite 40 callers on 3+2 capacity")
+	}
+	if act, q := a.Depth(); act != 0 || q != 0 {
+		t.Errorf("depth after drain: %d/%d", act, q)
+	}
+}
+
+func TestAdmissionBoundsAndMinimums(t *testing.T) {
+	a := NewAdmission(0, -5)
+	inflight, queue := a.Bounds()
+	if inflight != 1 || queue != 0 {
+		t.Errorf("bounds %d/%d, want 1/0", inflight, queue)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Zero queue: an occupied slot sheds immediately.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("zero-queue acquire: %v", err)
+	}
+	a.Release()
+}
+
+func waitDepth(t *testing.T, a *Admission, active, queued int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if act, q := a.Depth(); act == active && q == queued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	act, q := a.Depth()
+	t.Fatalf("depth %d/%d, want %d/%d", act, q, active, queued)
+}

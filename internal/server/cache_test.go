@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testKey fabricates a distinct hex-shaped key landing on shard
+// (i % cacheShards), padded to the hex-digest alphabet.
+func testKey(i int) string {
+	return fmt.Sprintf("%02x%062x", i%cacheShards, i)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One entry per shard: the second insert on a shard evicts the
+	// first.
+	c, err := NewCache(cacheShards, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testKey(0)
+	b := testKey(cacheShards) // same shard as a
+	c.Put(a, []byte("alpha"))
+	c.Put(b, []byte("beta"))
+	if _, ok := c.Get(a); ok {
+		t.Error("evicted entry still present")
+	}
+	if body, ok := c.Get(b); !ok || string(body) != "beta" {
+		t.Errorf("survivor: %q %v", body, ok)
+	}
+	m := c.Metrics()
+	if m.Evictions != 1 || m.Entries != 1 {
+		t.Errorf("evictions=%d entries=%d, want 1/1", m.Evictions, m.Entries)
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	c, _ := NewCache(cacheShards*2, "") // two per shard
+	a, b, d := testKey(0), testKey(cacheShards), testKey(2*cacheShards)
+	c.Put(a, []byte("a"))
+	c.Put(b, []byte("b"))
+	c.Get(a) // refresh a: b is now oldest
+	c.Put(d, []byte("d"))
+	if _, ok := c.Get(b); ok {
+		t.Error("least-recently-used entry survived")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, _ := NewCache(256, "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := testKey(i % 64)
+				if body, ok := c.Get(k); ok {
+					if string(body) != "v" {
+						t.Errorf("goroutine %d read %q", g, body)
+					}
+				} else {
+					c.Put(k, []byte("v"))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(7)
+	c1.Put(k, []byte("persisted"))
+
+	// A fresh cache over the same directory recovers the entry...
+	c2, _ := NewCache(64, dir)
+	body, ok := c2.Get(k)
+	if !ok || string(body) != "persisted" {
+		t.Fatalf("spill recovery: %q %v", body, ok)
+	}
+	if m := c2.Metrics(); m.SpillHits != 1 {
+		t.Errorf("spill hits = %d, want 1", m.SpillHits)
+	}
+	// ...and the recovery repopulated memory: the next Get is a pure
+	// memory hit.
+	c2.Get(k)
+	if m := c2.Metrics(); m.Hits != 1 {
+		t.Errorf("memory hits after repopulation = %d, want 1", m.Hits)
+	}
+}
+
+func TestCacheSpillCorruptionQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(64, dir)
+	k := testKey(3)
+	c.Put(k, []byte("good"))
+
+	// Corrupt the file on disk directly (no faultinject needed at this
+	// layer), then look it up through a cold cache.
+	path := c.spillPath(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, _ := NewCache(64, dir)
+	if _, ok := cold.Get(k); ok {
+		t.Fatal("corrupted spill entry was served")
+	}
+	if m := cold.Metrics(); m.SpillCorrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", m.SpillCorrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupted file was not quarantined: %v", err)
+	}
+}
+
+func TestCacheSpillTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(64, dir)
+	k := testKey(5)
+	if err := os.WriteFile(c.spillPath(k), []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("malformed spill entry was served")
+	}
+	if m := c.Metrics(); m.SpillCorrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", m.SpillCorrupt)
+	}
+}
+
+func TestCacheSpillNoTempLeaks(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(64, dir)
+	for i := 0; i < 20; i++ {
+		c.Put(testKey(i), []byte(strings.Repeat("x", 100)))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".entry") || strings.HasPrefix(e.Name(), "tmp-") {
+			t.Errorf("stray spill file %s", e.Name())
+		}
+	}
+	if len(ents) != 20 {
+		t.Errorf("%d spill files, want 20", len(ents))
+	}
+}

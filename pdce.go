@@ -371,6 +371,21 @@ func OptimizeAll(programs []*Program, o Options, workers int) []BatchResult {
 // are created per job, never shared, so per-program Stats.Telemetry is
 // exact even under full concurrency.
 func OptimizeAllObserved(programs []*Program, o Options, workers int, tk *BatchTracker) ([]BatchResult, BatchMetrics) {
+	return OptimizeAllGated(programs, o, workers, tk, nil)
+}
+
+// AdmissionGate is a per-job admission controller for OptimizeAllGated;
+// see internal/batch.Gate for the contract.
+type AdmissionGate = batch.Gate
+
+// OptimizeAllGated is OptimizeAllObserved with a per-job admission
+// gate: each pool worker acquires a slot from gate before running a
+// job and releases it after, so a batch embedded in a larger system
+// (the pdced server) shares that system's global concurrency budget
+// instead of adding its own. A job rejected by the gate reports the
+// gate's error with a nil Program, like a job the pool never started.
+// A nil gate admits everything.
+func OptimizeAllGated(programs []*Program, o Options, workers int, tk *BatchTracker, gate AdmissionGate) ([]BatchResult, BatchMetrics) {
 	jobs := make([]batch.Job, len(programs))
 	for i, p := range programs {
 		copt := o.coreOptions()
@@ -383,7 +398,7 @@ func OptimizeAllObserved(programs []*Program, o Options, workers int, tk *BatchT
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := batch.RunObserved(ctx, jobs, workers, tk)
+	res := batch.RunGated(ctx, jobs, workers, tk, gate)
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
 		out[i] = BatchResult{Name: r.Name, Duration: r.Duration, Worker: r.Worker}

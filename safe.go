@@ -32,7 +32,12 @@ import (
 //   - Any other error (e.g. an invalid input graph) returns the input
 //     program unchanged alongside it.
 //
-// The successful path is identical to Optimize.
+// The successful path is identical to Optimize — in particular it is
+// deterministic (Theorem 3.7: the fixpoint result is unique), so a
+// successful SafeOptimize result is content-addressable by
+// Program.CacheKey and safe to memoize; the pdced server's result
+// cache relies on this. Errored results, being partial or degraded,
+// are not.
 func (p *Program) SafeOptimize(o Options) (res *Program, st Stats, err error) {
 	defer func() {
 		if v := recover(); v != nil {
