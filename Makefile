@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry smoke-server ci
+.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry smoke-server docs-check ci
 
 all: build
 
@@ -50,9 +50,15 @@ smoke-server:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/pdced
 	$(GO) test -race -count=1 -run 'TestCacheHitByteIdentical|TestQueueSaturation|TestGracefulDrain|TestPanic500NeverPoisonsCache' ./internal/server
 
+# Docs drift guard: every query parameter the server parses and every
+# field /metrics emits must be documented in docs/API.md.
+docs-check:
+	$(GO) test -run 'TestDocsCover' ./internal/server
+
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the containment
-# fuzz smoke, and the telemetry and serving smokes.
-ci: vet build race bench fuzz smoke-telemetry smoke-server
+# fuzz smoke, the telemetry and serving smokes, and the docs drift
+# guard.
+ci: vet build race bench fuzz smoke-telemetry smoke-server docs-check

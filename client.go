@@ -136,7 +136,9 @@ func (c *Client) OptimizeBatch(ctx context.Context, breq BatchOptimizeRequest) (
 
 // Health probes GET /healthz and returns the reported status ("ok" or
 // "draining"). A draining server reports its status without error; a
-// transport failure returns one.
+// transport failure returns one. Any other non-2xx answer — say a
+// proxy's 502 with an HTML body — is returned as a *ServerError, never
+// misreported as a JSON decode failure.
 func (c *Client) Health(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
@@ -147,11 +149,20 @@ func (c *Client) Health(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close()
-	var h HealthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return "", fmt.Errorf("pdced: decoding health response: %w", err)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	// A real pdced answers 200 ("ok") or 503 ("draining"); both carry
+	// the HealthResponse shape. Anything else is not the health
+	// endpoint talking — route it through the error decoder.
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+		var h HealthResponse
+		if json.Unmarshal(body, &h) == nil && h.Status != "" {
+			return h.Status, nil
+		}
 	}
-	return h.Status, nil
+	if resp.StatusCode/100 == 2 {
+		return "", fmt.Errorf("pdced: decoding health response: unexpected body %q", truncate(body, 128))
+	}
+	return "", serverErrorFromResponse(resp, body)
 }
 
 // Metrics fetches GET /metrics.
@@ -178,13 +189,19 @@ func (c *Client) Metrics(ctx context.Context) (*ServerMetrics, error) {
 // decodeServerError turns a non-2xx response into a *ServerError,
 // tolerating non-JSON bodies (proxies, panics before the handler).
 func decodeServerError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return serverErrorFromResponse(resp, body)
+}
+
+// serverErrorFromResponse is decodeServerError over an already-read
+// body (Health reads the body before deciding how to interpret it).
+func serverErrorFromResponse(resp *http.Response, body []byte) error {
 	se := &ServerError{Status: resp.StatusCode}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if n, err := strconv.Atoi(ra); err == nil {
 			se.RetryAfter = n
 		}
 	}
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err := json.Unmarshal(body, se); err != nil || se.Message == "" {
 		se.Message = strings.TrimSpace(string(body))
 		if se.Message == "" {
@@ -192,4 +209,13 @@ func decodeServerError(resp *http.Response) error {
 		}
 	}
 	return se
+}
+
+// truncate bounds b for inclusion in an error message.
+func truncate(b []byte, n int) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > n {
+		s = s[:n] + "..."
+	}
+	return s
 }

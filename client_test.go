@@ -1,0 +1,61 @@
+package pdce_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdce"
+	"pdce/internal/server"
+)
+
+// Regression: a proxy answering /healthz with a non-JSON 502 used to
+// surface as a JSON decode error. It must come back as a *ServerError
+// carrying the real status code.
+func TestHealthNon2xxIsServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintln(w, "<html><body>upstream connect error</body></html>")
+	}))
+	defer ts.Close()
+
+	_, err := pdce.NewClient(ts.URL).Health(context.Background())
+	var se *pdce.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ServerError, got %T: %v", err, err)
+	}
+	if se.Status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", se.Status)
+	}
+	if !strings.Contains(se.Message, "upstream connect error") {
+		t.Fatalf("message %q lost the proxy body", se.Message)
+	}
+	if strings.Contains(err.Error(), "decoding health response") {
+		t.Fatalf("502 still misreported as a decode error: %v", err)
+	}
+}
+
+// A draining pdced still reports its status without error (503 with a
+// JSON body is the health endpoint talking, not a failure).
+func TestHealthDrainingStillDecodes(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.BeginDrain()
+
+	status, err := pdce.NewClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatalf("draining health probe errored: %v", err)
+	}
+	if status != "draining" {
+		t.Fatalf("status = %q, want draining", status)
+	}
+}

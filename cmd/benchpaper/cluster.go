@@ -1,0 +1,221 @@
+package main
+
+// C11 — cluster serving: replica scaling, affinity routing, and fault
+// tolerance of pdce.Pool over several pdced replicas.
+//
+// Replica scaling is invisible for pure cache hits on one machine (a
+// warm hit costs microseconds, so N in-process replicas answer no
+// faster than one). The experiment therefore installs the server's
+// RequestHook to serialize a fixed per-request service cost on every
+// replica — the standing model of a single-core replica with a fixed
+// CPU floor per request — which makes the cluster's capacity R times a
+// single replica's and lets affinity routing and failover show up in
+// wall-clock numbers.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdce"
+	"pdce/internal/progen"
+	"pdce/internal/server"
+)
+
+// clusterReplica is one in-process pdced with the serialized service
+// cost installed.
+type clusterReplica struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// newCluster starts n replicas, each serializing cost per /optimize
+// request, and a Pool over them.
+func newCluster(n, conc int, cost time.Duration, opts pdce.PoolOptions) ([]clusterReplica, *pdce.Pool, func(), error) {
+	replicas := make([]clusterReplica, 0, n)
+	urls := make([]string, 0, n)
+	cleanup := func() {
+		for _, r := range replicas {
+			r.ts.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		var mu sync.Mutex
+		s, err := server.New(server.Config{
+			MaxInFlight: conc,
+			MaxQueue:    4 * conc,
+			RequestHook: func(*http.Request) {
+				mu.Lock()
+				time.Sleep(cost)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		replicas = append(replicas, clusterReplica{srv: s, ts: ts})
+		urls = append(urls, ts.URL)
+	}
+	pool, err := pdce.NewPool(urls, opts)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	full := func() { pool.Close(); cleanup() }
+	return replicas, pool, full, nil
+}
+
+// drivePool pushes reps passes over sources through conc closed-loop
+// workers. halfway, when non-nil, fires once after half the requests
+// have been handed out — the hook the fault run uses to kill a replica
+// mid-flight. Returns the wall time and the number of failed requests.
+func drivePool(p *pdce.Pool, sources []string, conc, reps int, halfway func()) (time.Duration, int, error) {
+	total := len(sources) * reps
+	jobs := make(chan int, total)
+	for r := 0; r < reps; r++ {
+		for i := range sources {
+			jobs <- i
+		}
+	}
+	close(jobs)
+	var handed, failures atomic.Int64
+	var once sync.Once
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if halfway != nil && handed.Add(1) == int64(total/2) {
+					once.Do(halfway)
+				}
+				_, _, err := p.Optimize(context.Background(), fmt.Sprintf("c11-%02d", i), sources[i], pdce.RequestOptions{})
+				if err != nil {
+					failures.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), int(failures.Load()), firstErr
+}
+
+// expCluster is C11: cold and warm throughput at 1, 2, and 4 replicas,
+// then a warm 4-replica run with one replica drained mid-flight.
+func expCluster() error {
+	fmt.Println("## C11 — cluster serving: replica scaling, affinity, fault tolerance")
+	fmt.Println()
+	// Key balance over the ring is what bounds the busiest replica, so
+	// even the quick sweep keeps the program count high: fewer keys
+	// make the max per-replica share noisy run to run (httptest ports
+	// randomize the ring layout).
+	nProgs, stmts, warmReps, conc := 48, 160, 6, 16
+	if *quick {
+		nProgs, stmts, warmReps, conc = 32, 96, 4, 16
+	}
+	const serviceCost = 4 * time.Millisecond
+	sources := make([]string, nProgs)
+	for i := range sources {
+		sources[i] = progen.Generate(progen.Params{Seed: int64(i), Stmts: stmts}).Format()
+	}
+	fmt.Printf("%d programs x %d statements, %d closed-loop clients, warm pass %dx,\n",
+		nProgs, stmts, conc, warmReps)
+	fmt.Printf("per-replica serialized service cost %v (single-core replica model)\n\n", serviceCost)
+	fmt.Println("| replicas | cold reqs/s | warm reqs/s | warm speedup vs 1 | affinity hit rate |")
+	fmt.Println("|---------:|------------:|------------:|------------------:|------------------:|")
+
+	warmRate := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		replicas, pool, done, err := newCluster(n, conc, serviceCost, pdce.PoolOptions{ProbeInterval: -1, Seed: 11})
+		if err != nil {
+			return err
+		}
+		cold, coldFail, err := drivePool(pool, sources, conc, 1, nil)
+		if err != nil {
+			done()
+			return fmt.Errorf("cold pass, %d replicas: %d failures, first: %w", n, coldFail, err)
+		}
+		warm, warmFail, err := drivePool(pool, sources, conc, warmReps, nil)
+		if err != nil {
+			done()
+			return fmt.Errorf("warm pass, %d replicas: %d failures, first: %w", n, warmFail, err)
+		}
+		// Affinity keeps every program on one home replica, so across
+		// the whole cluster each distinct program is optimized exactly
+		// once — warm requests and sibling replicas never re-solve it.
+		var optimizes int64
+		for _, r := range replicas {
+			optimizes += r.srv.Stats().Optimizes()
+		}
+		snap := pool.Stats().Snapshot()
+		done()
+		if optimizes != int64(nProgs) {
+			return fmt.Errorf("%d replicas: optimizer ran %d times for %d distinct programs — affinity routing failed to keep requests on their home replica", n, optimizes, nProgs)
+		}
+		coldRate := float64(nProgs) / cold.Seconds()
+		warmRate[n] = float64(nProgs*warmReps) / warm.Seconds()
+		fmt.Printf("| %d | %.1f | %.1f | %.2fx | %.2f |\n",
+			n, coldRate, warmRate[n], warmRate[n]/warmRate[1], snap.AffinityHitRate)
+		record("C11", "cluster-cold", n, cold, map[string]float64{"reqs_per_s": coldRate})
+		record("C11", "cluster-warm", n, warm, map[string]float64{
+			"reqs_per_s": warmRate[n], "speedup_vs_1": warmRate[n] / warmRate[1],
+			"affinity_hit_rate": snap.AffinityHitRate,
+		})
+	}
+	if warmRate[4] < 2*warmRate[1] {
+		return fmt.Errorf("4-replica warm throughput %.1f reqs/s is below 2x the single-replica %.1f — replica scaling failed", warmRate[4], warmRate[1])
+	}
+
+	// Fault run: a fresh warm 4-replica ring, then one replica begins
+	// draining once half the requests are out. The pool must absorb it
+	// — 503s eject the member and fail the keys over — with zero
+	// caller-visible errors.
+	replicas, pool, done, err := newCluster(4, conc, serviceCost, pdce.PoolOptions{ProbeInterval: -1, Seed: 11})
+	if err != nil {
+		return err
+	}
+	defer done()
+	if _, warmFail, err := drivePool(pool, sources, conc, 1, nil); err != nil {
+		return fmt.Errorf("fault-run warmup: %d failures, first: %w", warmFail, err)
+	}
+	faultDur, faultFail, err := drivePool(pool, sources, conc, warmReps, func() {
+		replicas[0].srv.BeginDrain()
+	})
+	if faultFail > 0 {
+		return fmt.Errorf("replica kill leaked %d errors to callers, first: %w", faultFail, err)
+	}
+	snap := pool.Stats().Snapshot()
+	victim := pool.Members()[0]
+	if victim.Healthy {
+		return fmt.Errorf("drained replica %s still marked healthy", victim.URL)
+	}
+	rc := snap.Replicas[victim.URL]
+	faultRate := float64(nProgs*warmReps) / faultDur.Seconds()
+	fmt.Println()
+	fmt.Printf("fault run (4 replicas, one drained mid-flight): %.1f reqs/s, %d caller-visible errors, %d failovers, %d ejections\n",
+		faultRate, faultFail, snap.Failovers, rc.Ejections)
+	record("C11", "cluster-fault", 4, faultDur, map[string]float64{
+		"reqs_per_s": faultRate, "errors": float64(faultFail),
+		"failovers": float64(snap.Failovers), "ejections": float64(rc.Ejections),
+	})
+	fmt.Println()
+	fmt.Println("determinism (Theorem 3.7) is what makes this purely a routing exercise:")
+	fmt.Println("any replica can answer any request with identical bytes, so replica")
+	fmt.Println("choice is an affinity decision and failover needs no state transfer.")
+	fmt.Println()
+	return nil
+}

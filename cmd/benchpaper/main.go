@@ -21,6 +21,10 @@
 //	C10 — serving throughput of the pdced optimization service: cold
 //	      vs. warm content-addressed cache, at several client
 //	      concurrency levels
+//	C11 — cluster serving through pdce.Pool: warm/cold throughput at
+//	      1, 2, and 4 replicas under a fixed per-replica service cost,
+//	      affinity hit rate, and a mid-run replica kill that must stay
+//	      invisible to callers
 //
 // Usage:
 //
@@ -58,7 +62,7 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C10, all")
+	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C10, C11, all")
 	quick   = flag.Bool("quick", false, "smaller sweeps")
 	seeds   = flag.Int("seeds", 5, "random seeds per configuration")
 	jsonOut = flag.String("json", "", "also write every measured data point as a machine-readable report to this file ('-' = stdout)")
@@ -132,9 +136,10 @@ func main() {
 	run("C8", expPressure)
 	run("C9", expBatch)
 	run("C10", expServing)
+	run("C11", expCluster)
 	if *expFlag != "all" {
 		known := false
-		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10"} {
+		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11"} {
 			known = known || strings.EqualFold(*expFlag, k)
 		}
 		if !known {

@@ -1,10 +1,13 @@
 package pdce_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"pdce"
+	"pdce/internal/server"
 )
 
 // The paper's motivating example (Figure 1): y := a+b is wasted
@@ -102,6 +105,75 @@ out(r)
 	// Output:
 	// outputs equal: true
 	// term evaluations: 9 -> 7
+}
+
+// Client speaks the pdced wire protocol. Results are
+// content-addressed: resubmitting an identical program is a cache
+// hit, reported out of band in the X-Pdced-Cache header (the
+// CacheState return).
+func ExampleClient_Optimize() {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	client := pdce.NewClient(ts.URL)
+	source := "y := a + b\nif * {\n    y := c\n}\nout(x + y)\n"
+	resp, cache, err := client.Optimize(context.Background(), "demo", source, pdce.RequestOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eliminated: %d, cache: %s\n", resp.Stats.Eliminated, cache)
+	_, cache, err = client.Optimize(context.Background(), "demo", source, pdce.RequestOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("again: %s\n", cache)
+	// Output:
+	// eliminated: 1, cache: miss
+	// again: hit
+}
+
+// Pool serves a replicated pdced fleet. The optimizer's determinism
+// makes every replica interchangeable, so the pool routes each
+// program to a consistent home replica purely to reuse its cache —
+// repeating a request is a hit on the same member.
+func ExamplePool() {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s, err := server.New(server.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	pool, err := pdce.NewPool(urls, pdce.PoolOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	source := "y := a + b\nif * {\n    y := c\n}\nout(x + y)\n"
+	_, first, err := pool.Optimize(context.Background(), "demo", source, pdce.RequestOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, again, err := pool.Optimize(context.Background(), "demo", source, pdce.RequestOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicas: %d\n", len(pool.Members()))
+	fmt.Printf("first: %s, again: %s\n", first, again)
+	fmt.Printf("affinity hit rate: %.1f\n", pool.Stats().Snapshot().AffinityHitRate)
+	// Output:
+	// replicas: 3
+	// first: miss, again: hit
+	// affinity hit rate: 1.0
 }
 
 // The low-level CFG language expresses arbitrary branching structure,

@@ -52,6 +52,15 @@ const (
 	// corruption, which the cache must detect, quarantine, and treat
 	// as a miss rather than serve.
 	ServerCacheLoad Point = "server/cache-load"
+	// ClientDial fires in pdce.Pool immediately before one attempt is
+	// sent to one replica. Payload: the replica base URL (string).
+	// Stalling here simulates a slow network path to that replica —
+	// the seam for hedging and failover-latency tests.
+	ClientDial Point = "client/dial"
+	// ClientHedge fires when pdce.Pool launches a hedged second
+	// request after the hedge delay elapsed without a primary
+	// response. Payload: the hedge replica's base URL (string).
+	ClientHedge Point = "client/hedge"
 )
 
 // Hook receives every fired point. It may panic (the containment layer

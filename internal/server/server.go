@@ -32,7 +32,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +78,13 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429/503 responses in
 	// seconds (default 1).
 	RetryAfter int
+
+	// RequestHook, when non-nil, runs at the top of every admitted
+	// /optimize request, before the cache is consulted. It is a test
+	// and load-modelling hook — cluster benchmarks install one that
+	// serializes a fixed per-node service cost so replica scaling is
+	// measurable on a single machine — and is never set in production.
+	RequestHook func(r *http.Request)
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +263,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	defer s.exit()
 	start := time.Now()
 	defer func() { s.stats.RecordLatency(time.Since(start)) }()
+	if s.cfg.RequestHook != nil {
+		s.cfg.RequestHook(r)
+	}
 
 	o, explain, perr := optionsFromQuery(r)
 	if perr != "" {
@@ -614,7 +623,7 @@ func optionsFromQuery(r *http.Request) (o pdce.Options, explain string, perr str
 // otherwise the CFG format's keywords are sniffed.
 func parseProgram(src, name, lang string) (*pdce.Program, error) {
 	if lang == "" {
-		lang = detectLang(src)
+		lang = pdce.DetectLang(src)
 	}
 	switch lang {
 	case "cfg":
@@ -624,22 +633,6 @@ func parseProgram(src, name, lang string) (*pdce.Program, error) {
 	default:
 		return nil, fmt.Errorf("unknown lang %q (want cfg or while)", lang)
 	}
-}
-
-func detectLang(src string) string {
-	for _, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
-			continue
-		}
-		for _, kw := range []string{"graph", "node", "edge"} {
-			if strings.HasPrefix(line, kw+" ") || strings.HasPrefix(line, kw+"\t") {
-				return "cfg"
-			}
-		}
-		return "while"
-	}
-	return "while"
 }
 
 // requestKey derives the cache key for one request: the program's

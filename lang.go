@@ -1,0 +1,25 @@
+package pdce
+
+import "strings"
+
+// DetectLang guesses which front end parses src: "cfg" when the first
+// significant line opens with one of the low-level format's keywords
+// (graph, node, edge), "while" otherwise. It is the auto-detection rule
+// of cmd/pdce and the pdced server's lang=auto path; Pool uses it
+// client-side so the affinity key is computed over the same parse the
+// server will perform.
+func DetectLang(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, kw := range []string{"graph", "node", "edge"} {
+			if strings.HasPrefix(line, kw+" ") || strings.HasPrefix(line, kw+"\t") {
+				return "cfg"
+			}
+		}
+		return "while"
+	}
+	return "while"
+}

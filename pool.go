@@ -1,0 +1,507 @@
+package pdce
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdce/internal/faultinject"
+	"pdce/internal/obs"
+)
+
+// Pool is a cluster-aware client for a set of pdced replicas. It
+// layers four behaviours over the single-replica Client:
+//
+//   - Affinity routing: requests are routed by consistent hashing over
+//     the program's content address (Program.CacheKey), so repeated
+//     submissions of the same program land on the replica whose LRU
+//     already holds the byte-identical result. Because the optimizer
+//     is deterministic (DESIGN.md §9), replica choice is purely a
+//     cache-locality decision — any replica returns the same bytes.
+//   - Health-driven membership: replicas that fail /healthz, report
+//     draining, or error at the transport level are ejected from
+//     routing and probed back in by a background prober.
+//   - Bounded retry: failed attempts back off exponentially with
+//     jitter and fail over to the next ring member; a server-sent
+//     Retry-After (429/503) is honored as a per-replica cooldown.
+//   - Hedging (opt-in): a second replica is raced after a p95-derived
+//     delay; the first response wins and the loser is cancelled. A
+//     warm ring makes hedges nearly free — the hedge target answers
+//     from its cache or coalesces onto an in-flight computation.
+//
+// Construct with NewPool, stop the prober with Close. Methods are safe
+// for concurrent use.
+type Pool struct {
+	opts    PoolOptions
+	members []*member
+	ring    []ringSlot
+	stats   *obs.ClientStats
+	jitter  *lockedRand
+
+	// sleep is the backoff clock, injectable so retry tests observe
+	// requested delays instead of serving them in real time.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// PoolOptions configures a Pool. The zero value selects the defaults
+// documented per field.
+type PoolOptions struct {
+	// HTTPClient substitutes the transport shared by every replica
+	// client (custom timeouts, test doubles).
+	HTTPClient *http.Client
+	// Retry bounds the failover loop (see RetryPolicy).
+	Retry RetryPolicy
+	// VirtualNodes is the number of ring points per replica (default
+	// 64). More points smooth the key distribution at the cost of a
+	// larger ring.
+	VirtualNodes int
+	// ProbeInterval is the background health-probe period (default 2s;
+	// negative disables the prober — ejected replicas then return only
+	// via an explicit Probe call). ProbeTimeout bounds each probe
+	// (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Hedge enables hedged requests: when a primary attempt has not
+	// answered after HedgeDelay, a second replica is raced against it.
+	// HedgeDelay 0 derives the delay from the pool's observed p95
+	// latency (50ms until enough samples exist).
+	Hedge      bool
+	HedgeDelay time.Duration
+	// Seed seeds the backoff jitter (0 = wall clock). Fixing it makes
+	// retry schedules reproducible in tests.
+	Seed int64
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	o.Retry = o.Retry.withDefaults()
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = 64
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	return o
+}
+
+// member is one replica: its client, health flag, and server-directed
+// cooldown deadline (unix nanoseconds; 0 = none).
+type member struct {
+	base     string
+	client   *Client
+	healthy  atomic.Bool
+	cooldown atomic.Int64
+}
+
+func (m *member) cooldownLeft(now time.Time) time.Duration {
+	until := m.cooldown.Load()
+	if until == 0 {
+		return 0
+	}
+	if left := time.Duration(until - now.UnixNano()); left > 0 {
+		return left
+	}
+	return 0
+}
+
+// ringSlot is one virtual node of the consistent-hash ring.
+type ringSlot struct {
+	hash uint64
+	m    *member
+}
+
+// NewPool builds a pool over the given replica base URLs (at least
+// one; duplicates are rejected) and starts the health prober.
+func NewPool(replicas []string, opts PoolOptions) (*Pool, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("pdce: pool needs at least one replica")
+	}
+	opts = opts.withDefaults()
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	p := &Pool{
+		opts:   opts,
+		stats:  &obs.ClientStats{},
+		jitter: newLockedRand(seed),
+		sleep:  sleepCtx,
+		stop:   make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, r := range replicas {
+		base := strings.TrimRight(r, "/")
+		if seen[base] {
+			return nil, fmt.Errorf("pdce: duplicate pool replica %q", base)
+		}
+		seen[base] = true
+		m := &member{base: base, client: NewClient(base).WithHTTPClient(hc)}
+		m.healthy.Store(true)
+		p.members = append(p.members, m)
+	}
+	for _, m := range p.members {
+		for v := 0; v < opts.VirtualNodes; v++ {
+			p.ring = append(p.ring, ringSlot{hash: hashKey(m.base + "#" + strconv.Itoa(v)), m: m})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	if opts.ProbeInterval > 0 {
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Close stops the background prober. The pool remains usable (routing
+// keeps working on the last known health state).
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Stats exposes the pool's client-side counters.
+func (p *Pool) Stats() *obs.ClientStats { return p.stats }
+
+// Members reports each replica and its current health, in
+// construction order.
+func (p *Pool) Members() []MemberStatus {
+	out := make([]MemberStatus, len(p.members))
+	for i, m := range p.members {
+		out[i] = MemberStatus{URL: m.base, Healthy: m.healthy.Load()}
+	}
+	return out
+}
+
+// MemberStatus is one replica's view in Members.
+type MemberStatus struct {
+	URL     string
+	Healthy bool
+}
+
+// hashKey maps a string to a ring position. SHA-256 (truncated) rather
+// than a fast non-cryptographic hash: vnode labels and test keys are
+// near-identical short strings, and weak avalanche behaviour there
+// clusters the ring badly enough to break balance.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// candidates returns every replica in ring order starting at key's
+// position: index 0 is the key's home replica, the rest the failover
+// sequence. Health is deliberately not consulted here — the home
+// assignment must be stable under churn so an ejected replica gets its
+// keys back the moment it is readmitted.
+func (p *Pool) candidates(key string) []*member {
+	h := hashKey(key)
+	start := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	out := make([]*member, 0, len(p.members))
+	seen := make(map[*member]bool, len(p.members))
+	for i := 0; i < len(p.ring) && len(out) < len(p.members); i++ {
+		m := p.ring[(start+i)%len(p.ring)].m
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// affinityKey computes the routing key for one request: the same
+// content address the server caches under (Program.CacheKey over the
+// parsed, canonically re-rendered program, plus the explain variable
+// when one is requested). Unparseable sources fall back to hashing the
+// raw bytes — the server will reject them, but they still route
+// deterministically.
+func (p *Pool) affinityKey(name, source string, o RequestOptions) string {
+	if name == "" {
+		name = "request" // the server's default, so keys match its cache keys
+	}
+	lang := o.Lang
+	if lang == "" {
+		lang = DetectLang(source)
+	}
+	var prog *Program
+	var err error
+	switch lang {
+	case "cfg":
+		prog, err = ParseCFG(source)
+	default:
+		prog, err = ParseSource(name, source)
+	}
+	if err != nil {
+		p.stats.AddParseFallback()
+		sum := sha256.Sum256([]byte(lang + "\x00" + name + "\x00" + source))
+		return hex.EncodeToString(sum[:])
+	}
+	opt := Options{Mode: o.Mode, MaxRounds: o.MaxRounds, Telemetry: o.Telemetry, Trace: o.Trace}
+	if o.Explain != "" {
+		opt.Trace = true
+	}
+	key := prog.CacheKey(opt)
+	if o.Explain != "" {
+		sum := sha256.Sum256([]byte(key + "|explain=" + o.Explain))
+		key = hex.EncodeToString(sum[:])
+	}
+	return key
+}
+
+// Optimize submits one program to the cluster with affinity routing,
+// retry, and (when enabled) hedging. The semantics match
+// Client.Optimize: non-2xx outcomes surface as *ServerError, degraded
+// results as 200s with resp.Degraded set. Deterministic failures (bad
+// request, parse error, contained panic) are never retried — every
+// replica would answer them identically.
+func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := p.affinityKey(name, source, o)
+	cands := p.candidates(key)
+	home := cands[0]
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt < p.opts.Retry.MaxAttempts; attempt++ {
+		m, cooldown := p.pick(cands, attempt)
+		delay := cooldown
+		if attempt > 0 {
+			if d := p.opts.Retry.delay(attempt, p.jitter.Float64); d > delay {
+				delay = d
+			}
+		}
+		if delay > 0 {
+			if err := p.sleep(ctx, delay); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		resp, cs, winner, err := p.attempt(ctx, m, p.hedgeTarget(cands, m), name, source, o)
+		if err == nil {
+			p.stats.RecordLatency(time.Since(start))
+			if winner == home {
+				p.stats.AddAffinityHit()
+			} else {
+				p.stats.AddAffinityMiss()
+			}
+			return resp, cs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, "", err
+		}
+		if !classify(err).retry {
+			return nil, "", err
+		}
+		lastErr = err
+		p.stats.AddFailover()
+	}
+	return nil, "", fmt.Errorf("pdce: all %d attempts failed: %w", p.opts.Retry.MaxAttempts, lastErr)
+}
+
+// pick selects the replica for one attempt: the first healthy,
+// cooldown-free candidate starting at the attempt's rotation; else the
+// healthy one whose cooldown expires soonest (the returned duration is
+// the wait the caller must honor — this is where a 429's Retry-After
+// becomes a real delay); else, with every replica ejected, the
+// rotation's candidate anyway — health data may be stale and a dead
+// ring has nothing to lose.
+func (p *Pool) pick(cands []*member, attempt int) (*member, time.Duration) {
+	n := len(cands)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		m := cands[(attempt+i)%n]
+		if m.healthy.Load() && m.cooldownLeft(now) <= 0 {
+			return m, 0
+		}
+	}
+	var best *member
+	var bestLeft time.Duration
+	for i := 0; i < n; i++ {
+		m := cands[(attempt+i)%n]
+		if !m.healthy.Load() {
+			continue
+		}
+		if left := m.cooldownLeft(now); best == nil || left < bestLeft {
+			best, bestLeft = m, left
+		}
+	}
+	if best != nil {
+		return best, bestLeft
+	}
+	m := cands[attempt%n]
+	return m, m.cooldownLeft(now)
+}
+
+// hedgeTarget returns the replica a hedge would race against primary:
+// the next healthy, cooldown-free candidate after it (nil when hedging
+// is off or no distinct target exists).
+func (p *Pool) hedgeTarget(cands []*member, primary *member) *member {
+	if !p.opts.Hedge {
+		return nil
+	}
+	now := time.Now()
+	idx := 0
+	for i, m := range cands {
+		if m == primary {
+			idx = i
+			break
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		m := cands[(idx+i)%len(cands)]
+		if m != primary && m.healthy.Load() && m.cooldownLeft(now) <= 0 {
+			return m
+		}
+	}
+	return nil
+}
+
+// attemptResult is one arm's outcome in a hedged race.
+type attemptResult struct {
+	resp *OptimizeResponse
+	cs   CacheState
+	m    *member
+	err  error
+}
+
+// attempt performs one (possibly hedged) try. Failure side effects —
+// failure counters, ejection, cooldown — are applied here for every
+// failed arm, including a losing hedge; the caller only decides
+// whether the returned error is worth another attempt.
+func (p *Pool) attempt(ctx context.Context, primary, hedge *member, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, *member, error) {
+	if hedge == nil {
+		r := p.send(ctx, primary, name, source, o)
+		return r.resp, r.cs, r.m, r.err
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan attemptResult, 2) // buffered: the losing arm must never block
+	go func() { resc <- p.send(actx, primary, name, source, o) }()
+	timer := time.NewTimer(p.hedgeDelay())
+	defer timer.Stop()
+	outstanding, hedged := 1, false
+	for {
+		select {
+		case r := <-resc:
+			outstanding--
+			if r.err == nil {
+				if hedged && r.m == hedge {
+					p.stats.AddHedgeWin()
+				}
+				return r.resp, r.cs, r.m, nil
+			}
+			if outstanding == 0 {
+				return nil, "", r.m, r.err
+			}
+		case <-timer.C:
+			hedged = true
+			faultinject.Fire(faultinject.ClientHedge, hedge.base)
+			p.stats.AddHedge()
+			outstanding++
+			go func() { resc <- p.send(actx, hedge, name, source, o) }()
+		case <-ctx.Done():
+			return nil, "", primary, ctx.Err()
+		}
+	}
+}
+
+// send performs one attempt against one replica and applies its
+// failure side effects.
+func (p *Pool) send(ctx context.Context, m *member, name, source string, o RequestOptions) attemptResult {
+	faultinject.Fire(faultinject.ClientDial, m.base)
+	p.stats.AddAttempt(m.base)
+	resp, cs, err := m.client.Optimize(ctx, name, source, o)
+	if err != nil && ctx.Err() == nil {
+		p.applyFailure(m, err)
+	}
+	return attemptResult{resp: resp, cs: cs, m: m, err: err}
+}
+
+func (p *Pool) applyFailure(m *member, err error) {
+	p.stats.AddFailure(m.base)
+	dec := classify(err)
+	if dec.eject {
+		p.eject(m)
+	}
+	if dec.cooldown > 0 {
+		m.cooldown.Store(time.Now().Add(dec.cooldown).UnixNano())
+	}
+}
+
+func (p *Pool) hedgeDelay() time.Duration {
+	if p.opts.HedgeDelay > 0 {
+		return p.opts.HedgeDelay
+	}
+	if p95 := p.stats.P95(); p95 > 0 {
+		return p95
+	}
+	return 50 * time.Millisecond
+}
+
+func (p *Pool) eject(m *member) {
+	if m.healthy.CompareAndSwap(true, false) {
+		p.stats.AddEjection(m.base)
+	}
+}
+
+func (p *Pool) readmit(m *member) {
+	if m.healthy.CompareAndSwap(false, true) {
+		m.cooldown.Store(0)
+		p.stats.AddReadmission(m.base)
+	}
+}
+
+// --- health probing ---------------------------------------------------
+
+func (p *Pool) probeLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.Probe()
+		}
+	}
+}
+
+// Probe runs one synchronous health pass over every replica: /healthz
+// answering "ok" readmits an ejected replica, anything else (draining,
+// non-2xx, transport failure) ejects it. The background prober calls
+// this every ProbeInterval; tests call it directly for deterministic
+// membership transitions.
+func (p *Pool) Probe() {
+	for _, m := range p.members {
+		ctx, cancel := context.WithTimeout(context.Background(), p.opts.ProbeTimeout)
+		status, err := m.client.Health(ctx)
+		cancel()
+		if err == nil && status == "ok" {
+			p.readmit(m)
+		} else {
+			p.eject(m)
+		}
+	}
+}

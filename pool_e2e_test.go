@@ -1,0 +1,147 @@
+package pdce_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"pdce"
+	"pdce/internal/server"
+)
+
+const poolTestSource = "y := a + b\nif * {\n    y := c\n}\nout(x + y)\n"
+
+func newTestReplica(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// The optimizer's determinism is what makes replica choice an
+// affinity-only decision: every replica must answer a given request
+// with the same bytes, and the pool must return that same answer no
+// matter which members are alive.
+func TestPoolByteIdenticalAcrossReplicas(t *testing.T) {
+	var servers []*server.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s, ts := newTestReplica(t)
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+
+	// Direct per-replica answers must already be byte-identical.
+	var want []byte
+	for i, u := range urls {
+		resp, _, err := pdce.NewClient(u).Optimize(context.Background(), "p", poolTestSource, pdce.RequestOptions{})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		body, _ := json.Marshal(resp)
+		if want == nil {
+			want = body
+		} else if string(body) != string(want) {
+			t.Fatalf("replica %d answered differently:\n%s\nvs\n%s", i, body, want)
+		}
+	}
+
+	p, err := pdce.NewPool(urls, pdce.PoolOptions{ProbeInterval: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	first, _, err := p.Optimize(context.Background(), "p", poolTestSource, pdce.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain two replicas: whichever member was the key's home, the
+	// request is now forced onto the single survivor.
+	servers[0].BeginDrain()
+	servers[1].BeginDrain()
+	second, _, err := p.Optimize(context.Background(), "p", poolTestSource, pdce.RequestOptions{})
+	if err != nil {
+		t.Fatalf("optimize with two replicas draining: %v", err)
+	}
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if string(b1) != string(want) || string(b2) != string(want) {
+		t.Fatalf("pool answers diverged from the replica answer:\nfirst  %s\nsecond %s\nwant   %s", b1, b2, want)
+	}
+}
+
+// An ejected replica must be probed back in: /healthz failures eject
+// it, a later "ok" readmits it, and routing resumes using it.
+func TestPoolEjectedReplicaReadmitted(t *testing.T) {
+	_, healthyTS := newTestReplica(t)
+	flaky, flakyBackend := newTestReplica(t)
+	_ = flaky
+	var down atomic.Bool
+	flakyTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprintln(w, "<html>replica rebooting</html>")
+			return
+		}
+		flakyBackend.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer flakyTS.Close()
+
+	p, err := pdce.NewPool([]string{flakyTS.URL, healthyTS.URL}, pdce.PoolOptions{ProbeInterval: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	down.Store(true)
+	p.Probe()
+	if m := p.Members(); m[0].Healthy || !m[1].Healthy {
+		t.Fatalf("after failing probe: members = %+v, want flaky ejected", m)
+	}
+	// Requests keep succeeding while one member is out.
+	if _, _, err := p.Optimize(context.Background(), "p", poolTestSource, pdce.RequestOptions{}); err != nil {
+		t.Fatalf("optimize with ejected member: %v", err)
+	}
+
+	down.Store(false)
+	p.Probe()
+	if m := p.Members(); !m[0].Healthy {
+		t.Fatalf("after passing probe: members = %+v, want flaky readmitted", m)
+	}
+	snap := p.Stats().Snapshot()
+	rc := snap.Replicas[flakyTS.URL]
+	if rc.Ejections < 1 || rc.Readmissions < 1 {
+		t.Fatalf("flaky replica counters = %+v, want >=1 ejection and readmission", rc)
+	}
+}
+
+// Killing a replica outright (closed listener) must stay invisible to
+// callers: every request completes via failover.
+func TestPoolSurvivesReplicaKill(t *testing.T) {
+	_, aliveTS := newTestReplica(t)
+	_, deadTS := newTestReplica(t)
+	p, err := pdce.NewPool([]string{deadTS.URL, aliveTS.URL}, pdce.PoolOptions{ProbeInterval: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	deadTS.Close()
+
+	for i := 0; i < 12; i++ {
+		src := fmt.Sprintf("x := a + b%d\nout(x)\n", i)
+		if _, _, err := p.Optimize(context.Background(), fmt.Sprintf("p%d", i), src, pdce.RequestOptions{}); err != nil {
+			t.Fatalf("request %d saw the kill: %v", i, err)
+		}
+	}
+	if m := p.Members(); m[0].Healthy {
+		t.Fatal("killed replica still marked healthy")
+	}
+}

@@ -1,0 +1,138 @@
+package pdce
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Retry policy of the cluster-aware client (Pool): bounded attempts,
+// capped exponential backoff with jitter, and server-directed
+// cooldowns. The policy is deliberately separate from the routing so
+// both are testable on their own.
+
+// RetryPolicy bounds Pool's failover loop. The zero value selects the
+// defaults documented per field.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per request, the first
+	// included (default 4; minimum 1). Attempts after the first fail
+	// over to the next ring member.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt, doubled per
+	// subsequent attempt up to MaxBackoff (defaults 25ms and 2s). Every
+	// delay is jittered uniformly in [d/2, d) so synchronized clients
+	// desynchronize; a server-sent Retry-After overrides the computed
+	// delay when it is longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.BaseBackoff <= 0 {
+		rp.BaseBackoff = 25 * time.Millisecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = 2 * time.Second
+	}
+	return rp
+}
+
+// delay returns the jittered backoff before attempt (1-based retry
+// count: attempt 1 is the first retry).
+func (rp RetryPolicy) delay(attempt int, jitter func() float64) time.Duration {
+	d := rp.BaseBackoff
+	for i := 1; i < attempt && d < rp.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	// Uniform in [d/2, d): full jitter would allow near-zero delays,
+	// which defeats the point of backing off at all.
+	return d/2 + time.Duration(jitter()*float64(d/2))
+}
+
+// lockedRand is a concurrency-safe jitter source (math/rand's global
+// source is locked too, but a private one keeps tests reproducible).
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+// retryDecision classifies one failed attempt.
+type retryDecision struct {
+	// retry is false for permanent failures (bad request, parse error,
+	// contained panic — deterministic, so every replica would answer
+	// identically).
+	retry bool
+	// eject removes the replica from the healthy set until a probe
+	// readmits it (transport failures, draining).
+	eject bool
+	// cooldown is the server-directed Retry-After (0 = none): the
+	// replica must not be retried before it elapses, but other ring
+	// members may be tried immediately.
+	cooldown time.Duration
+}
+
+// classify maps one attempt's error to a decision. ctx errors are
+// terminal and handled by the caller before classification.
+func classify(err error) retryDecision {
+	var se *ServerError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusTooManyRequests:
+			// Shed at admission: the replica is healthy but full.
+			// Honor its Retry-After as a cooldown and go elsewhere.
+			return retryDecision{retry: true, cooldown: retryAfter(se)}
+		case http.StatusServiceUnavailable:
+			// Draining (or a canceled wait): the replica is leaving the
+			// ring. Eject it; the prober readmits it if it comes back.
+			return retryDecision{retry: true, eject: true, cooldown: retryAfter(se)}
+		default:
+			// 400/500: deterministic outcomes — a parse error or a
+			// contained panic replays identically on every replica.
+			return retryDecision{}
+		}
+	}
+	// Anything else is transport-level (dial failure, reset, truncated
+	// body): eject and fail over.
+	return retryDecision{retry: true, eject: true}
+}
+
+func retryAfter(se *ServerError) time.Duration {
+	if se.RetryAfter <= 0 {
+		return 0
+	}
+	return time.Duration(se.RetryAfter) * time.Second
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
