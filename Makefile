@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz smoke-telemetry smoke-server docs-check ci
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server docs-check ci
 
 all: build
 
@@ -26,6 +26,12 @@ bench:
 # across runs without scraping the markdown tables.
 bench-json:
 	$(GO) run ./cmd/benchpaper -quick -seeds 3 -json BENCH_paper.json > /dev/null
+
+# Solver-engine smoke: tiny-n scaling run pinning byte-identical
+# outputs across the dense/sparse/auto dataflow engines and asserting
+# the auto density heuristic tracks the dense engine's wall time.
+bench-smoke:
+	PDCE_BENCH_SMOKE=1 $(GO) test -count=1 -run TestBenchSmoke -v .
 
 # Fuzz smoke over the containment contract: SafeOptimize must never
 # panic and must always return a structurally valid program, whatever
@@ -58,7 +64,7 @@ docs-check:
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
-# allocation budget guard), a benchmark smoke pass, the containment
-# fuzz smoke, the telemetry and serving smokes, and the docs drift
-# guard.
-ci: vet build race bench fuzz smoke-telemetry smoke-server docs-check
+# allocation budget guard), a benchmark smoke pass, the solver-engine
+# smoke, the containment fuzz smoke, the telemetry and serving smokes,
+# and the docs drift guard.
+ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server docs-check

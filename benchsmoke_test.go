@@ -1,0 +1,64 @@
+package pdce_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"pdce/internal/core"
+	"pdce/internal/dataflow"
+	"pdce/internal/progen"
+)
+
+// TestBenchSmoke is the `make bench-smoke` guard: a tiny-n scaling run
+// over the three dataflow engines that must hold on every commit.
+//
+// Two properties are asserted. First, the deterministic one: dense,
+// sparse, and auto produce byte-identical programs. Second, the cost
+// one: the auto heuristic must track the dense engine within a slack
+// factor. Forced sparse is intentionally NOT asserted to beat dense
+// here — at small n the word-parallel dense engine wins (one vector op
+// covers 64 patterns), and the density heuristic exists precisely to
+// keep such cases on the dense path; asserting auto ≤ slack·dense
+// catches a broken heuristic that strands small programs on per-bit
+// propagation.
+//
+// Wall-clock assertions flake under load, so the test is opt-in via
+// PDCE_BENCH_SMOKE=1 (the Makefile target sets it) and uses best-of-3
+// timings with a generous slack.
+func TestBenchSmoke(t *testing.T) {
+	if os.Getenv("PDCE_BENCH_SMOKE") == "" {
+		t.Skip("set PDCE_BENCH_SMOKE=1 (or run `make bench-smoke`)")
+	}
+	const slack = 2.0
+	for _, n := range []int{256, 1024} {
+		g := progen.Generate(progen.Params{Seed: 42, Stmts: n})
+		times := map[dataflow.SolverMode]time.Duration{}
+		texts := map[dataflow.SolverMode]string{}
+		for _, mode := range []dataflow.SolverMode{dataflow.SolveDense, dataflow.SolveSparse, dataflow.SolveAuto} {
+			best := time.Duration(1<<63 - 1)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				out, _, err := core.Transform(g, core.Options{Mode: core.ModeDead, Solver: mode})
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				if err != nil {
+					t.Fatalf("n=%d mode=%v: %v", n, mode, err)
+				}
+				texts[mode] = out.Format()
+			}
+			times[mode] = best
+		}
+		if texts[dataflow.SolveSparse] != texts[dataflow.SolveDense] ||
+			texts[dataflow.SolveAuto] != texts[dataflow.SolveDense] {
+			t.Fatalf("n=%d: engine outputs differ", n)
+		}
+		dense, auto := times[dataflow.SolveDense], times[dataflow.SolveAuto]
+		if float64(auto) > slack*float64(dense) {
+			t.Errorf("n=%d: auto engine took %v, more than %.1fx dense (%v) — density heuristic regressed",
+				n, auto, slack, dense)
+		}
+		t.Logf("n=%d: dense %v, sparse %v, auto %v", n, dense, times[dataflow.SolveSparse], auto)
+	}
+}

@@ -322,7 +322,7 @@ edge 2 e
 	l := ComputeLocals(g, pt)
 	n1 := mustNode(t, g, "1")
 	yab, _ := pt.Index(ir.Pattern{LHS: "y", RHS: "(a+b)"})
-	if got := l.CandidateIdx[n1.ID][yab]; got != 3 {
+	if got := l.Candidate(n1.ID, yab); got != 3 {
 		t.Errorf("candidate index = %d, want 3 (the last occurrence)", got)
 	}
 }

@@ -31,9 +31,31 @@ type Locals struct {
 	LocDelayed []*bitvec.Vector
 	LocBlocked []*bitvec.Vector
 
-	// CandidateIdx[nodeID][patternIdx] is the statement index of
-	// the sinking candidate of that pattern in that block, or -1.
-	CandidateIdx [][]int
+	// Cands[nodeID] lists the block's sinking candidates as
+	// (pattern index, statement index) pairs, at most one entry per
+	// pattern, in decreasing statement order (the backward sweep's
+	// discovery order). A compact list rather than a dense
+	// per-pattern row: blocks hold a handful of candidates while the
+	// pattern universe grows with the program, and the dense
+	// nodes×patterns matrix dominated the allocation profile.
+	Cands [][]CandEntry
+}
+
+// CandEntry records one sinking candidate of a block.
+type CandEntry struct {
+	Pat  int32 // pattern index
+	Stmt int32 // statement index within the block
+}
+
+// Candidate returns the statement index of the sinking candidate of
+// pattern pi in block id, or -1 if the block has none.
+func (l *Locals) Candidate(id cfg.NodeID, pi int) int {
+	for _, c := range l.Cands[id] {
+		if int(c.Pat) == pi {
+			return int(c.Stmt)
+		}
+	}
+	return -1
 }
 
 // ComputeLocals computes the local predicates of every block of g over
@@ -49,10 +71,8 @@ func ComputeLocals(g *cfg.Graph, pt *ir.PatternTable) *Locals {
 // statement order.
 func (l *Locals) SinkingCandidates(n *cfg.Node) []Candidate {
 	var out []Candidate
-	for pi, si := range l.CandidateIdx[n.ID] {
-		if si >= 0 {
-			out = append(out, Candidate{StmtIndex: si, Pattern: l.Patterns.Pattern(pi), PatternIdx: pi})
-		}
+	for _, c := range l.Cands[n.ID] {
+		out = append(out, Candidate{StmtIndex: int(c.Stmt), Pattern: l.Patterns.Pattern(int(c.Pat)), PatternIdx: int(c.Pat)})
 	}
 	// Order by statement position for stable output.
 	for i := 1; i < len(out); i++ {

@@ -49,9 +49,15 @@ func (p *delayProblem) Top() *bitvec.Vector           { return bitvec.NewAllOnes
 
 func (p *delayProblem) Transfer(n *cfg.Node, in, out *bitvec.Vector) {
 	// X = LOCDELAYED + N·¬LOCBLOCKED
-	out.CopyFrom(in)
-	out.AndNot(p.locals.LocBlocked[n.ID])
-	out.Or(p.locals.LocDelayed[n.ID])
+	out.AndNotOrInto(in, p.locals.LocBlocked[n.ID], p.locals.LocDelayed[n.ID])
+}
+
+// GenKill exposes the transfer in canonical gen/kill form — Table 2's
+// X-DELAYED equation already is one, with the candidate occurrences as
+// gen and the blockades as kill — unlocking the solver's fused dense
+// transfer and the per-pattern sparse engine.
+func (p *delayProblem) GenKill(n *cfg.Node) (gen, kill *bitvec.Vector) {
+	return p.locals.LocDelayed[n.ID], p.locals.LocBlocked[n.ID]
 }
 
 // Delayability solves Table 2 for graph g over pattern universe pt.
@@ -91,15 +97,37 @@ func DelayabilityWithLocals(g *cfg.Graph, locals *Locals) *DelayResult {
 // vectors of r.
 func computeInserts(g *cfg.Graph, r *DelayResult) {
 	for _, n := range g.Nodes() {
-		ni := r.NInsert[n.ID]
-		ni.CopyFrom(r.NDelayed[n.ID])
-		ni.And(r.Locals.LocBlocked[n.ID])
+		computeInsertsNode(r, n)
+	}
+}
 
-		// X-INSERT = X-DELAYED · Σ_{m ∈ succ} ¬N-DELAYED_m: some
-		// successor is not delayed. Empty sum (end node) is false.
-		xi := r.XInsert[n.ID]
+// computeInsertsNode refreshes one block's insertion predicates from
+// the solved system.
+func computeInsertsNode(r *DelayResult, n *cfg.Node) {
+	// N-INSERT ⊆ N-DELAYED and X-INSERT ⊆ X-DELAYED; the delay
+	// solution is sparse (most blocks delay nothing), so an
+	// early-exit zero scan usually replaces the full products.
+	if r.NDelayed[n.ID].IsZero() {
+		r.NInsert[n.ID].ClearAll()
+	} else {
+		r.NInsert[n.ID].AndInto(r.NDelayed[n.ID], r.Locals.LocBlocked[n.ID])
+	}
+
+	// X-INSERT = X-DELAYED · Σ_{m ∈ succ} ¬N-DELAYED_m: some
+	// successor is not delayed. Empty sum (end node) is false.
+	xi := r.XInsert[n.ID]
+	if r.XDelayed[n.ID].IsZero() {
 		xi.ClearAll()
-		for _, m := range n.Succs() {
+		return
+	}
+	switch succs := n.Succs(); len(succs) {
+	case 0:
+		xi.ClearAll()
+	case 1:
+		xi.AndNotInto(r.XDelayed[n.ID], r.NDelayed[succs[0].ID])
+	default:
+		xi.ClearAll()
+		for _, m := range succs {
 			xi.OrNot(r.NDelayed[m.ID])
 		}
 		xi.And(r.XDelayed[n.ID])
@@ -130,6 +158,18 @@ type DelaySolver struct {
 	metrics *obs.SolverMetrics
 
 	scratch *bitvec.Vector // locals sweep scratch
+
+	// Delta-solve state: changed accumulates the pattern bits whose
+	// local predicates moved across the dirty blocks of one Solve
+	// (oldLD/oldLB are the before-images backing the comparison);
+	// eqDirty is the dirty set filtered down to blocks whose
+	// equations actually changed. insStamp/insEpoch dedupe the
+	// restricted insertion-predicate refresh.
+	changed      *bitvec.Vector
+	oldLD, oldLB *bitvec.Vector
+	eqDirty      []cfg.NodeID
+	insStamp     []uint32
+	insEpoch     uint32
 }
 
 // NewDelaySolver creates a solver for g over pattern universe pt.
@@ -137,10 +177,14 @@ func NewDelaySolver(g *cfg.Graph, pt *ir.PatternTable) *DelaySolver {
 	ix := NewPatternIndex(pt)
 	bits := pt.Len()
 	s := &DelaySolver{
-		g:       g,
-		Index:   ix,
-		locals:  ix.Locals(g),
-		scratch: bitvec.New(bits),
+		g:        g,
+		Index:    ix,
+		locals:   ix.Locals(g),
+		scratch:  bitvec.New(bits),
+		changed:  bitvec.New(bits),
+		oldLD:    bitvec.New(bits),
+		oldLB:    bitvec.New(bits),
+		insStamp: make([]uint32, g.NumNodes()),
 	}
 	s.solver = dataflow.NewSolver(g, &delayProblem{locals: s.locals, bits: bits})
 	sol := s.solver.Result()
@@ -175,6 +219,10 @@ func (s *DelaySolver) SetMetrics(m *obs.SolverMetrics) {
 	s.solver.SetMetrics(m)
 }
 
+// SetMode selects the underlying solver's execution engine (see
+// dataflow.SolverMode). The default Auto picks per solve.
+func (s *DelaySolver) SetMode(m dataflow.SolverMode) { s.solver.SetMode(m) }
+
 // ArenaStats reports the combined slab state of the solver's vector
 // arenas (the fixpoint solution storage plus the insertion predicates).
 func (s *DelaySolver) ArenaStats() bitvec.ArenaStats {
@@ -198,11 +246,31 @@ func (s *DelaySolver) Solve(dirty []cfg.NodeID) *DelayResult {
 		s.res.Stats = dataflow.SolverStats{}
 		return &s.res
 	}
+	wasSolved := s.solved
 	s.solved = true
-	for _, id := range dirty {
-		s.Index.UpdateBlock(s.locals, s.g.Node(id), s.scratch)
+	var sol *dataflow.Result
+	if wasSolved {
+		// Recompute the dirty blocks' local predicates with an
+		// exact account of which pattern bits moved. Blocks whose
+		// rewrite left their predicates bit-identical contribute no
+		// equation change and drop out of the re-solve; the solver
+		// uses the accumulated mask to re-solve only the moved bits
+		// when its sparse delta path is eligible.
+		s.changed.ClearAll()
+		eq := s.eqDirty[:0]
+		for _, id := range dirty {
+			if s.Index.UpdateBlockDelta(s.locals, s.g.Node(id), s.scratch, s.oldLD, s.oldLB, s.changed) {
+				eq = append(eq, id)
+			}
+		}
+		s.eqDirty = eq
+		sol = s.solver.ResolveDelta(eq, s.changed)
+	} else {
+		for _, id := range dirty {
+			s.Index.UpdateBlock(s.locals, s.g.Node(id), s.scratch)
+		}
+		sol = s.solver.Resolve(dirty)
 	}
-	sol := s.solver.Resolve(dirty)
 	s.res.Stats = sol.Stats
 	if sol.Stats.Cancelled {
 		// The partial solution justifies nothing: leave the
@@ -211,8 +279,44 @@ func (s *DelaySolver) Solve(dirty []cfg.NodeID) *DelayResult {
 		s.solved = false
 		return &s.res
 	}
-	computeInserts(s.g, &s.res)
+	s.refreshInserts(sol.Touched)
 	return &s.res
+}
+
+// refreshInserts recomputes the insertion predicates after a solve.
+// With no touched-set guarantee every block is refreshed; otherwise
+// only the blocks whose inputs could have moved are: a block's
+// N-INSERT/X-INSERT read its own solution and local predicates (the
+// touched set and the equation-changed dirty blocks) and its
+// successors' N-DELAYED (the predecessors of touched blocks).
+func (s *DelaySolver) refreshInserts(touched []cfg.NodeID) {
+	if touched == nil {
+		computeInserts(s.g, &s.res)
+		return
+	}
+	s.insEpoch++
+	if s.insEpoch == 0 {
+		for i := range s.insStamp {
+			s.insStamp[i] = 0
+		}
+		s.insEpoch = 1
+	}
+	refresh := func(n *cfg.Node) {
+		if s.insStamp[n.ID] != s.insEpoch {
+			s.insStamp[n.ID] = s.insEpoch
+			computeInsertsNode(&s.res, n)
+		}
+	}
+	for _, id := range touched {
+		n := s.g.Node(id)
+		refresh(n)
+		for _, p := range n.Preds() {
+			refresh(p)
+		}
+	}
+	for _, id := range s.eqDirty {
+		refresh(s.g.Node(id))
+	}
 }
 
 // Stable reports whether the assignment sinking transformation induced

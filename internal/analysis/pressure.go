@@ -47,7 +47,7 @@ func Pressure(g *cfg.Graph) PressureStats {
 		counts := make([]int, len(n.Stmts)+1)
 		counts[len(n.Stmts)] = nv - cur.Count()
 		for si := len(n.Stmts) - 1; si >= 0; si-- {
-			deadStep(dead.Vars, n.Stmts[si], cur)
+			dead.stepper().step(n.Stmts[si], cur)
 			counts[si] = nv - cur.Count()
 		}
 		// One sample per instruction entry; empty blocks sample

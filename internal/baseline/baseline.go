@@ -224,12 +224,11 @@ func UnionSinkOnce(g *cfg.Graph) Result {
 // candidates fused with an exit insertion in place).
 func applyInsertRemove(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, nIns, xIns []*bitvec.Vector) {
 	for _, n := range g.Nodes() {
-		cand := locals.CandidateIdx[n.ID]
 		keep := map[int]bool{}
 		remove := map[int]bool{}
 		var exitPatterns []int
 		for pi := 0; pi < pt.Len(); pi++ {
-			si := cand[pi]
+			si := locals.Candidate(n.ID, pi)
 			if si < 0 {
 				continue
 			}
@@ -240,7 +239,7 @@ func applyInsertRemove(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Local
 			}
 		}
 		xIns[n.ID].ForEach(func(pi int) {
-			if cand[pi] < 0 {
+			if locals.Candidate(n.ID, pi) < 0 {
 				exitPatterns = append(exitPatterns, pi)
 			}
 		})

@@ -1,0 +1,55 @@
+package cfg
+
+import "testing"
+
+// chain builds s -> nodes... -> e and returns the named nodes.
+func edges(g *Graph, pairs ...[2]*Node) {
+	for _, p := range pairs {
+		g.AddEdge(p[0], p[1])
+	}
+}
+
+func TestReducibleStructured(t *testing.T) {
+	// Diamond feeding a natural loop: reducible.
+	g := New("structured")
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	l := g.AddNode("l")
+	edges(g,
+		[2]*Node{g.Start, a},
+		[2]*Node{a, b}, [2]*Node{a, c},
+		[2]*Node{b, d}, [2]*Node{c, d},
+		[2]*Node{d, l}, [2]*Node{l, d}, // natural loop with header d
+		[2]*Node{l, g.End},
+	)
+	MustValidate(g)
+	if !Reducible(g) {
+		t.Error("structured graph reported irreducible")
+	}
+}
+
+func TestReducibleSelfLoop(t *testing.T) {
+	g := New("selfloop")
+	a := g.AddNode("a")
+	edges(g, [2]*Node{g.Start, a}, [2]*Node{a, a}, [2]*Node{a, g.End})
+	MustValidate(g)
+	if !Reducible(g) {
+		t.Error("self loop reported irreducible")
+	}
+}
+
+func TestIrreducibleTwoEntryLoop(t *testing.T) {
+	// The classic two-entry loop: Start branches to both x and y,
+	// which form a cycle. Neither dominates the other, so whichever
+	// retreating edge the DFS finds cannot be a back edge.
+	g := New("irreducible")
+	x, y := g.AddNode("x"), g.AddNode("y")
+	edges(g,
+		[2]*Node{g.Start, x}, [2]*Node{g.Start, y},
+		[2]*Node{x, y}, [2]*Node{y, x},
+		[2]*Node{x, g.End},
+	)
+	MustValidate(g)
+	if Reducible(g) {
+		t.Error("two-entry loop reported reducible")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"pdce/internal/cfg"
 	"pdce/internal/dataflow"
 	"pdce/internal/faultinject"
+	"pdce/internal/ir"
 	"pdce/internal/obs"
 )
 
@@ -57,6 +58,16 @@ type Options struct {
 	// of, into, or through them (arriving code stops at their
 	// entry), and nothing inside them is eliminated.
 	Hot HotPredicate
+
+	// Solver selects the dataflow execution engine for the
+	// incremental driver's block-level analyses (delayability and
+	// dead variables): dense priority-worklist iteration, per-pattern
+	// sparse propagation, or the default automatic choice by seed
+	// density and graph reducibility. All three produce byte-identical
+	// programs — the equivalence property tests pin this — so the
+	// switch trades time, not results. The reference driver and the
+	// slotwise faint analysis ignore it.
+	Solver dataflow.SolverMode
 
 	// NoIncremental forces the reference driver, which rebuilds the
 	// variable and pattern universes and re-solves every analysis
@@ -255,7 +266,20 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 // metrics sink — the reference driver's coarse accounting (its solvers
 // live for a single phase, so there is nothing incremental to report).
 func recordSolve(m *obs.SolverMetrics, kind obs.SolveKind, st dataflow.SolverStats, seedable int) {
-	m.RecordSolve(kind, st.NodeVisits, st.Pushes, st.Seeded, seedable, st.VecOps, st.Cancelled)
+	if st.Sparse {
+		seedable = 0 // sparse solves have no dense seeding to reuse
+	}
+	m.RecordSolve(kind, obs.SolveCost{
+		Visits:           st.NodeVisits,
+		Pushes:           st.Pushes,
+		Passes:           st.Passes,
+		MaxWorklistDepth: st.MaxWorklistDepth,
+		Seeded:           st.Seeded,
+		Seedable:         seedable,
+		VecOps:           st.VecOps,
+		Sparse:           st.Sparse,
+		Cancelled:        st.Cancelled,
+	})
 }
 
 // runReference is the from-scratch driver loop: each phase rebuilds its
@@ -415,12 +439,14 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 	delay := analysis.NewDelaySolver(out, pt)
 	delay.SetCancel(cancel)
 	delay.SetMetrics(col.DelayMetrics())
+	delay.SetMode(opt.Solver)
 	var deadSolver *analysis.DeadSolver
 	var faintRes *analysis.FaintResult
 	if opt.Mode == ModeDead {
 		deadSolver = analysis.NewDeadSolver(out, vars)
 		deadSolver.SetCancel(cancel)
 		deadSolver.SetMetrics(col.DeadMetrics())
+		deadSolver.SetMode(opt.Solver)
 	}
 	if col != nil {
 		// The solvers live for the whole run; fold their arena slab
@@ -442,7 +468,15 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 	// next round's phases.
 	pendElim := newDirtySet(out.NumNodes())
 	pendSink := newDirtySet(out.NumNodes())
-	onChange := func(n *cfg.Node) {
+	onChange := func(n *cfg.Node, old []ir.Stmt, ops []int32) {
+		// Splice the solvers' per-block statement caches along the
+		// rewrite instead of letting them re-resolve the block against
+		// the pattern table (sync is optional — a missed or stale sync
+		// is caught by the caches' slice-header validation).
+		delay.Index.SyncRewrite(n, old, ops)
+		if deadSolver != nil {
+			deadSolver.SyncRewrite(n, old, ops)
+		}
 		pendElim.add(n.ID)
 		pendSink.add(n.ID)
 	}
@@ -505,7 +539,7 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		if dres.Stats.Cancelled {
 			return rv.best(out), wd.interrupt(st.Rounds, "sink")
 		}
-		s := applySink(out, pt, delay.Locals(), dres, onChange, tr)
+		s := applySink(out, delay.Index, delay.Locals(), dres, onChange, tr)
 		st.Inserted += s.InsertedEntry + s.InsertedExit
 		st.SinkRemoved += s.RemovedCandidates
 		st.SinkSolverWork += s.SolverVisits

@@ -37,12 +37,17 @@ func EliminateDead(g *cfg.Graph) ElimStats {
 // called once for every block whose statement list was altered — the
 // dirty-set feed of the incremental driver. tr, when non-nil, receives
 // one provenance event per removed assignment.
-func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*cfg.Node), tr *obs.Trace) ElimStats {
+func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed blockEdit, tr *obs.Trace) ElimStats {
 	var st ElimStats
 	st.SolverWork = dead.Stats.NodeVisits
 	var idx []int
+	var ops []int32
 	for _, n := range g.Nodes() {
-		if len(n.Stmts) == 0 {
+		// An incremental solve restricts the walk: a block whose
+		// statements and solution values both held still since the
+		// previous elimination pass was emptied of dead assignments
+		// by that pass and needs no rescan.
+		if len(n.Stmts) == 0 || !dead.NeedsScan(n.ID) {
 			continue
 		}
 		idx = dead.DeadAssignIndices(n, idx[:0])
@@ -50,9 +55,14 @@ func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*
 			continue
 		}
 		// idx is in decreasing statement order; walk it from the
-		// back to drop statements in one forward compaction.
+		// back to drop statements in one forward compaction. The
+		// compaction aliases the old backing array, so the old slice
+		// header is captured first — its base pointer and length are
+		// what the rewrite notification's consumers validate against.
+		old := n.Stmts
 		j := len(idx) - 1
 		kept := n.Stmts[:0]
+		ops = ops[:0]
 		for si, s := range n.Stmts {
 			if j >= 0 && idx[j] == si {
 				j--
@@ -65,10 +75,11 @@ func eliminateDeadSolved(g *cfg.Graph, dead *analysis.DeadResult, changed func(*
 				continue
 			}
 			kept = append(kept, s)
+			ops = append(ops, int32(si))
 		}
 		n.Stmts = kept
 		if changed != nil {
-			changed(n)
+			changed(n, old, ops)
 		}
 	}
 	return st
@@ -86,15 +97,18 @@ func EliminateFaint(g *cfg.Graph) ElimStats {
 // eliminateFaintSolved applies the elimination step justified by an
 // already-solved faint-variable analysis. The solution must describe
 // g's current statement layout (the flat program indexes into it).
-func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed func(*cfg.Node), tr *obs.Trace) ElimStats {
+func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed blockEdit, tr *obs.Trace) ElimStats {
 	var st ElimStats
 	st.SolverWork = faint.SlotUpdates
+	var ops []int32
 	for _, n := range g.Nodes() {
 		if len(n.Stmts) == 0 {
 			continue
 		}
 		removed := 0
+		old := n.Stmts
 		kept := n.Stmts[:0]
+		ops = ops[:0]
 		for si, s := range n.Stmts {
 			if a, ok := s.(ir.Assign); ok && faint.FaintAfter(n, si, a.LHS) {
 				removed++
@@ -106,12 +120,13 @@ func eliminateFaintSolved(g *cfg.Graph, faint *analysis.FaintResult, changed fun
 				continue
 			}
 			kept = append(kept, s)
+			ops = append(ops, int32(si))
 		}
 		n.Stmts = kept
 		if removed > 0 {
 			st.Removed += removed
 			if changed != nil {
-				changed(n)
+				changed(n, old, ops)
 			}
 		}
 	}

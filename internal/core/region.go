@@ -47,19 +47,18 @@ func restrictLocals(g *cfg.Graph, l *analysis.Locals, hot HotPredicate) {
 		}
 		l.LocDelayed[n.ID].ClearAll()
 		l.LocBlocked[n.ID].SetAll()
-		for pi := range l.CandidateIdx[n.ID] {
-			l.CandidateIdx[n.ID][pi] = -1
-		}
+		l.Cands[n.ID] = l.Cands[n.ID][:0]
 	}
 }
 
 // sinkHot is Sink restricted to a hot region.
 func sinkHot(g *cfg.Graph, hot HotPredicate) SinkStats {
 	pt := g.CollectPatterns()
-	locals := analysis.ComputeLocals(g, pt)
+	ix := analysis.NewPatternIndex(pt)
+	locals := ix.Locals(g)
 	restrictLocals(g, locals, hot)
 	delay := analysis.DelayabilityWithLocals(g, locals)
-	return applySink(g, pt, locals, delay, nil, nil)
+	return applySink(g, ix, locals, delay, nil, nil)
 }
 
 // eliminateDeadHot is EliminateDead restricted to hot blocks. The

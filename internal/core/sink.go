@@ -62,17 +62,29 @@ func Sink(g *cfg.Graph) SinkStats {
 // Both may be nil.
 func sinkObserved(g *cfg.Graph, tr *obs.Trace, m *obs.SolverMetrics) SinkStats {
 	pt := g.CollectPatterns()
-	locals := analysis.ComputeLocals(g, pt)
+	ix := analysis.NewPatternIndex(pt)
+	locals := ix.Locals(g)
 	delay := analysis.DelayabilityWithLocals(g, locals)
 	recordSolve(m, obs.SolveFull, delay.Stats, g.NumNodes())
-	return applySink(g, pt, locals, delay, nil, tr)
+	return applySink(g, ix, locals, delay, nil, tr)
 }
+
+// blockEdit is the rewrite notification shared by the transformation
+// passes: old is the block's statement slice from before the rewrite,
+// and ops encodes the new statement list's provenance — entry i of the
+// new list is old[ops[i]] when ops[i] >= 0, or a freshly materialized
+// instance of pattern ^ops[i] when ops[i] < 0. The incremental driver
+// uses the encoding to splice solver-side per-block caches instead of
+// re-resolving every statement against the pattern table.
+type blockEdit func(n *cfg.Node, old []ir.Stmt, ops []int32)
 
 // sinkScratch holds applySink's reusable per-block buffers.
 type sinkScratch struct {
-	removeIdx     []int // candidate statement indices to drop
-	entryPatterns []int // pattern indices to insert at block entry
-	exitPatterns  []int // pattern indices to insert at block exit
+	removeIdx     []int   // candidate statement indices to drop
+	entryPatterns []int   // pattern indices to insert at block entry
+	exitPatterns  []int   // pattern indices to insert at block exit
+	ops           []int32 // provenance of the rewritten statement list
+	opsTail       []int32 // ops of the tail displaced by exit inserts
 }
 
 // applySink rewrites every block according to a solved delayability
@@ -88,15 +100,22 @@ type sinkScratch struct {
 // current program (the reference driver), and is equally computable
 // from a superset table carried across the whole run (the incremental
 // driver) — so both drivers emit identical text.
-func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay *analysis.DelayResult, changed func(*cfg.Node), tr *obs.Trace) SinkStats {
+func applySink(g *cfg.Graph, ix *analysis.PatternIndex, locals *analysis.Locals, delay *analysis.DelayResult, changed blockEdit, tr *obs.Trace) SinkStats {
+	pt := ix.Patterns
 	var st SinkStats
 	st.SolverVisits = delay.Stats.NodeVisits
-	rank := occurrenceRanks(g, pt)
+	rank := occurrenceRanks(g, ix)
 	var sc sinkScratch
 	for _, n := range g.Nodes() {
 		nIns := delay.NInsert[n.ID]
 		xIns := delay.XInsert[n.ID]
-		cand := locals.CandidateIdx[n.ID]
+
+		// Fast path: a block with no candidates and no insertions is
+		// untouched (and emits no trace events). Three word scans
+		// with early exit beat the ForEach closures below.
+		if len(locals.Cands[n.ID]) == 0 && nIns.IsZero() && xIns.IsZero() {
+			continue
+		}
 
 		sc.removeIdx = sc.removeIdx[:0]
 		sc.entryPatterns = sc.entryPatterns[:0]
@@ -106,8 +125,10 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 		// removal and exit-insertion cancel, the occurrence stays.
 		// Each statement is the candidate of at most its own
 		// pattern, so the remove and keep sets cannot collide.
+		// Iterated in ascending pattern order (not Cands order) to
+		// keep trace-event order identical across drivers.
 		locals.LocDelayed[n.ID].ForEach(func(pi int) {
-			if si := cand[pi]; si >= 0 {
+			if si := locals.Candidate(n.ID, pi); si >= 0 {
 				if !xIns.Get(pi) {
 					sc.removeIdx = append(sc.removeIdx, si)
 				} else if tr != nil {
@@ -121,7 +142,7 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 		})
 		// Exit insertions for patterns without a local candidate.
 		xIns.ForEach(func(pi int) {
-			if cand[pi] < 0 {
+			if locals.Candidate(n.ID, pi) < 0 {
 				sc.exitPatterns = append(sc.exitPatterns, pi)
 			}
 		})
@@ -132,8 +153,10 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 		sortByRank(sc.exitPatterns, rank)
 
 		newStmts := make([]ir.Stmt, 0, len(n.Stmts)+len(sc.entryPatterns)+len(sc.exitPatterns))
+		sc.ops = sc.ops[:0]
 		for _, pi := range sc.entryPatterns {
 			newStmts = append(newStmts, pt.MakeAssign(pi))
+			sc.ops = append(sc.ops, ^int32(pi))
 			st.InsertedEntry++
 			if tr != nil {
 				p := pt.Pattern(pi)
@@ -151,6 +174,7 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 				continue
 			}
 			newStmts = append(newStmts, s)
+			sc.ops = append(sc.ops, int32(si))
 		}
 		if len(sc.exitPatterns) > 0 {
 			// Exit insertions. With critical edges split these
@@ -167,8 +191,11 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 			}
 			tail := append([]ir.Stmt(nil), newStmts[insertAt:]...)
 			newStmts = newStmts[:insertAt]
+			sc.opsTail = append(sc.opsTail[:0], sc.ops[insertAt:]...)
+			sc.ops = sc.ops[:insertAt]
 			for _, pi := range sc.exitPatterns {
 				newStmts = append(newStmts, pt.MakeAssign(pi))
+				sc.ops = append(sc.ops, ^int32(pi))
 				st.InsertedExit++
 				if tr != nil {
 					p := pt.Pattern(pi)
@@ -176,10 +203,12 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 				}
 			}
 			newStmts = append(newStmts, tail...)
+			sc.ops = append(sc.ops, sc.opsTail...)
 		}
+		old := n.Stmts
 		n.Stmts = newStmts
 		if changed != nil {
-			changed(n)
+			changed(n, old, sc.ops)
 		}
 	}
 	return st
@@ -189,19 +218,21 @@ func applySink(g *cfg.Graph, pt *ir.PatternTable, locals *analysis.Locals, delay
 // occurrence in g (node order, then statement order); patterns with no
 // occurrence get a rank past every real one. Insertions are sourced
 // from sinking candidates, so every inserted pattern has a real rank.
-func occurrenceRanks(g *cfg.Graph, pt *ir.PatternTable) []int {
-	rank := make([]int, pt.Len())
+// Lookups go through the index's statement memo — this runs once per
+// sinking round over every statement of the program.
+func occurrenceRanks(g *cfg.Graph, ix *analysis.PatternIndex) []int {
+	rank := make([]int, ix.Patterns.Len())
 	for i := range rank {
 		rank[i] = int(^uint(0) >> 1)
 	}
 	r := 0
 	for _, n := range g.Nodes() {
-		for _, s := range n.Stmts {
-			if pi, ok := pt.IndexOfStmt(s); ok && rank[pi] > r {
+		ix.ForEachPatternStmt(n, func(si, pi int) {
+			if rank[pi] > r {
 				rank[pi] = r
 				r++
 			}
-		}
+		})
 	}
 	return rank
 }

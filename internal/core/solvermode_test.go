@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdce/internal/core"
+	"pdce/internal/dataflow"
+	"pdce/internal/faultinject"
+	"pdce/internal/obs"
+	"pdce/internal/progen"
+	"pdce/internal/verify"
+)
+
+// TestSolverModesByteIdentical pins down the engine-independence of the
+// incremental driver: across a spread of random programs (structured,
+// loopy, dense, irreducible) and both modes, the dense, sparse, and
+// auto dataflow engines must produce byte-identical output text and
+// identical run statistics. 50 seeds x 4 shapes = 200 programs per
+// mode; the dense engine is the reference.
+func TestSolverModesByteIdentical(t *testing.T) {
+	graphs := randomPrograms(t, 50)
+	engines := []struct {
+		name string
+		m    dataflow.SolverMode
+	}{
+		{"sparse", dataflow.SolveSparse},
+		{"auto", dataflow.SolveAuto},
+	}
+	for _, mode := range []core.Mode{core.ModeDead, core.ModeFaint} {
+		for _, g := range graphs {
+			ref, refSt, err := core.Transform(g, core.Options{Mode: mode, Solver: dataflow.SolveDense})
+			if err != nil {
+				t.Fatalf("%s/%v dense: %v", g.Name, mode, err)
+			}
+			want := ref.Format()
+			for _, e := range engines {
+				got, st, err := core.Transform(g, core.Options{Mode: mode, Solver: e.m})
+				if err != nil {
+					t.Fatalf("%s/%v %s: %v", g.Name, mode, e.name, err)
+				}
+				if text := got.Format(); text != want {
+					t.Errorf("%s/%v: %s and dense outputs differ\n%s:\n%s\ndense:\n%s",
+						g.Name, mode, e.name, e.name, text, want)
+					continue
+				}
+				if st.Rounds != refSt.Rounds ||
+					st.Eliminated != refSt.Eliminated ||
+					st.Inserted != refSt.Inserted ||
+					st.SinkRemoved != refSt.SinkRemoved ||
+					st.PeakStmts != refSt.PeakStmts {
+					t.Errorf("%s/%v: %s stats diverge: %+v, dense %+v",
+						g.Name, mode, e.name, st, refSt)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverAutoFallsBackOnIrreducible exercises the auto heuristic's
+// reducibility gate on an irreducible corpus: every recorded solve must
+// have taken the dense path (the sparse engine's convergence bound
+// rests on RPO covering retreating edges, which irreducible graphs
+// break), and the output must still match a forced-dense run
+// byte-for-byte. Runs under -race in CI, so the corpus stays small.
+func TestSolverAutoFallsBackOnIrreducible(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := progen.Generate(progen.Params{Seed: seed, Stmts: 80, Vars: 6, Irreducible: true})
+		col := obs.NewCollector(false)
+		got, _, err := core.Transform(g, core.Options{
+			Mode:      core.ModeDead,
+			Solver:    dataflow.SolveAuto,
+			Collector: col,
+		})
+		if err != nil {
+			t.Fatalf("seed %d auto: %v", seed, err)
+		}
+		for _, m := range []*obs.SolverMetrics{col.DelayMetrics(), col.DeadMetrics()} {
+			snap := m.Snapshot()
+			if snap.SparseSolves != 0 {
+				t.Errorf("seed %d: %d sparse solves on an irreducible graph; auto must fall back to dense", seed, snap.SparseSolves)
+			}
+			if snap.DenseSolves == 0 && snap.Solves != snap.CacheHits {
+				t.Errorf("seed %d: no dense solves recorded (%+v)", seed, snap)
+			}
+		}
+		ref, _, err := core.Transform(g, core.Options{Mode: core.ModeDead, Solver: dataflow.SolveDense})
+		if err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		if got.Format() != ref.Format() {
+			t.Errorf("seed %d: auto and dense outputs differ\nauto:\n%s\ndense:\n%s",
+				seed, got.Format(), ref.Format())
+		}
+	}
+}
+
+// TestSparseCancelMidSolveDiscardsPartial injects a stall at the
+// solver-visit fault point so a context deadline expires in the middle
+// of a forced-sparse solve. The cancelled solve's partial per-bit
+// frontiers must be discarded exactly like a cancelled dense solve's
+// partial region: the run stops with an interrupt whose surfaced graph
+// is a sound phase boundary, never a program built from a half-solved
+// system, and the telemetry records the cancellation.
+func TestSparseCancelMidSolveDiscardsPartial(t *testing.T) {
+	restore := faultinject.Set(func(pt faultinject.Point, _ any) {
+		if pt == faultinject.SolverVisit {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	defer restore()
+
+	g := progen.Generate(progen.Params{Seed: 5, Stmts: 240, Vars: 6})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	col := obs.NewCollector(false)
+	res, _, err := core.Transform(g, core.Options{
+		Mode:      core.ModeDead,
+		Solver:    dataflow.SolveSparse,
+		Ctx:       ctx,
+		Collector: col,
+	})
+
+	var ie *core.InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected an InterruptError, got %v", err)
+	}
+	if !core.Partial(err) {
+		t.Fatalf("interrupt not classified as partial: %v", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted run surfaced no graph")
+	}
+	cancelled := col.DelayMetrics().Snapshot().CancelledSolves +
+		col.DeadMetrics().Snapshot().CancelledSolves
+	if cancelled == 0 {
+		t.Error("no cancelled solve recorded; the stall did not interrupt a solve in flight")
+	}
+	rep := verify.CheckTransformed(g, res, verify.Options{Seeds: 16, Fuel: 512})
+	if !rep.OK() {
+		t.Errorf("partial graph after mid-sparse-solve cancel is unsound: %s", rep)
+	}
+}

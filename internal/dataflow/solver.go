@@ -19,9 +19,22 @@
 // reused across solves) and can re-solve incrementally after a known
 // set of blocks changed, re-seeding from the previous solution instead
 // of re-initializing the whole graph to top.
+//
+// Two execution engines back the same equations. The dense engine is a
+// priority worklist over the whole graph: nodes drain in solve order
+// (reverse postorder for forward problems, postorder for backward
+// ones), so each sweep is a Hecht/Ullman round-robin pass and the
+// number of wraparounds is the real convergence pass count. The sparse
+// engine (sparse.go) solves gen/kill problems bit by bit, visiting only
+// the region a bit's gen sites can influence; it is exact and usually
+// far cheaper when gen sites are scarce. SolverMode selects between
+// them; the default Auto mode uses a density and reducibility
+// heuristic.
 package dataflow
 
 import (
+	"math/bits"
+
 	"pdce/internal/bitvec"
 	"pdce/internal/cfg"
 	"pdce/internal/faultinject"
@@ -81,11 +94,76 @@ type VectorProblem interface {
 	Transfer(n *cfg.Node, in, out *bitvec.Vector)
 }
 
+// GenKillProblem is a VectorProblem whose transfer function has the
+// canonical gen/kill form
+//
+//	out = (in AND NOT kill) OR gen
+//
+// (Section 3's bit-vector equations all do). Problems that implement
+// it unlock two fast paths: the dense engine fuses the transfer into a
+// single word-parallel AndNotOrInto pass, and the sparse engine can
+// solve per bit from the gen/kill sites alone. The returned vectors
+// are read-only to the solver and must stay valid until the next
+// solve; they may be rebuilt between solves (the solver re-reads them
+// each time).
+type GenKillProblem interface {
+	VectorProblem
+	GenKill(n *cfg.Node) (gen, kill *bitvec.Vector)
+}
+
+// SolverMode selects the execution engine.
+type SolverMode int
+
+const (
+	// SolveAuto picks sparse for gen/kill problems on reducible
+	// graphs with sparse gen sites, dense otherwise.
+	SolveAuto SolverMode = iota
+	// SolveDense forces the priority-worklist dense engine.
+	SolveDense
+	// SolveSparse forces the per-bit sparse engine where the problem
+	// shape allows it (gen/kill, intersect meet, all-ones top,
+	// natural boundary); otherwise the dense engine still runs.
+	SolveSparse
+)
+
+func (m SolverMode) String() string {
+	switch m {
+	case SolveDense:
+		return "dense"
+	case SolveSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSolverMode maps a flag string to a SolverMode; unknown strings
+// fall back to SolveAuto.
+func ParseSolverMode(s string) SolverMode {
+	switch s {
+	case "dense":
+		return SolveDense
+	case "sparse":
+		return SolveSparse
+	default:
+		return SolveAuto
+	}
+}
+
 // Result holds the fixpoint solution of a vector problem.
 type Result struct {
 	// In and Out are indexed by cfg.NodeID: In is the value at
 	// block entry, Out at block exit, regardless of direction.
 	In, Out []*bitvec.Vector
+
+	// Touched, when non-nil, lists every node whose In or Out may
+	// differ from the previous solve's solution; values at all other
+	// nodes are bit-identical to before. A nil Touched means the
+	// solve gave no such guarantee (a full solve, or an engine that
+	// does not track it) and every node must be treated as changed.
+	// The slice aliases solver scratch and is invalidated by the
+	// next solve.
+	Touched []cfg.NodeID
 
 	// Stats describes the solver run that produced this solution.
 	Stats SolverStats
@@ -93,34 +171,43 @@ type Result struct {
 
 // SolverStats reports how much work the fixpoint iteration performed.
 type SolverStats struct {
-	// NodeVisits is the number of block transfer evaluations.
+	// NodeVisits is the number of block transfer evaluations (dense)
+	// or per-bit region node visits (sparse).
 	NodeVisits int
-	// Passes is an upper estimate of sweep count: visits divided by
-	// node count, rounded up.
+	// Passes is the real convergence pass count: the dense priority
+	// worklist drains in solve order, so every wraparound of its
+	// scan cursor is one round-robin sweep. Sparse solves report 1.
 	Passes int
+	// MaxWorklistDepth is the high-water mark of pending worklist
+	// entries (dense) or of the propagation stack (sparse).
+	MaxWorklistDepth int
 	// Seeded is the number of nodes placed on the initial worklist:
-	// all nodes for a full solve, only the affected region for an
-	// incremental one.
+	// all nodes for a full dense solve, only the affected region for
+	// an incremental one. Sparse solves report 0 — they have no
+	// dense seeding to reuse.
 	Seeded int
 	// Pushes is the number of worklist insertions: the seeds plus
 	// every requeue caused by a changed solution value.
 	Pushes int
 	// VecOps counts the bulk bit-vector operations the solve
 	// performed (meet folds, transfer evaluations, change tests,
-	// result copies).
+	// result copies; background fills for sparse).
 	VecOps int
+	// Sparse reports which engine produced the solution.
+	Sparse bool
 	// Cancelled reports that the solve was interrupted by the
 	// solver's cancellation check before reaching the fixpoint. A
-	// cancelled solution is PARTIAL — still above the greatest
-	// fixpoint — and must not justify any transformation.
+	// cancelled solution is PARTIAL — not a fixpoint of anything —
+	// and must not justify any transformation; the solver discards
+	// it and re-solves in full on its next use.
 	Cancelled bool
 }
 
 // Solve computes the fixpoint of p on g with a worklist algorithm.
-// Nodes are seeded in reverse postorder for forward problems and
-// postorder for backward problems, which makes single-pass convergence
-// typical for structured graphs while remaining correct on the
-// irreducible ones the paper's Figure 5 exercises.
+// Nodes drain in reverse postorder for forward problems and postorder
+// for backward problems, which makes single-pass convergence typical
+// for structured graphs while remaining correct on the irreducible
+// ones the paper's Figure 5 exercises.
 func Solve(g *cfg.Graph, p VectorProblem) *Result {
 	return NewSolver(g, p).Full()
 }
@@ -137,6 +224,7 @@ func Solve(g *cfg.Graph, p VectorProblem) *Result {
 type Solver struct {
 	g   *cfg.Graph
 	p   VectorProblem
+	gk  GenKillProblem // non-nil iff p has gen/kill form
 	res Result
 
 	arena    bitvec.Arena
@@ -145,28 +233,45 @@ type Solver struct {
 	tmp      *bitvec.Vector
 
 	order   []*cfg.Node // solve order: RPO (forward) or PO (backward)
+	pos     []int32     // NodeID -> position in order; -1 if absent
 	forward bool
 
-	inQueue  []bool
-	queue    []*cfg.Node
-	affected []bool // scratch for Resolve's region marking
+	wl       prioWorklist
+	frontier []*cfg.Node  // scratch for Resolve's region BFS
+	affected []bool       // scratch for Resolve's region marking
+	touched  []cfg.NodeID // scratch backing Result.Touched
 	solved   bool
+
+	mode SolverMode
+	// sparseOK caches whether the problem shape admits the sparse
+	// engine at all (checked once; the shape cannot change).
+	sparseOK bool
+	// reducible caches cfg.Reducible(g), computed on first demand.
+	reducible, reducibleKnown bool
+	sp                        *sparseState
 
 	cancel  func() bool
 	metrics *obs.SolverMetrics
 }
 
 // SetCancel installs a cancellation check consulted periodically while
-// the worklist drains (every cancelCheckStride visits — cheap enough
-// for time-based watchdogs). When it returns true the solve stops
-// early: the result is marked Cancelled, is not a fixpoint, and must
-// be discarded; the solver re-solves in full on its next use.
+// the solve runs (every cancelCheckStride visits — cheap enough for
+// time-based watchdogs). When it returns true the solve stops early:
+// the result is marked Cancelled, is not a fixpoint, and must be
+// discarded; the solver re-solves in full on its next use.
 func (s *Solver) SetCancel(cancel func() bool) { s.cancel = cancel }
 
 // SetMetrics installs a telemetry sink that every subsequent solve
-// reports into (visits, pushes, seeding, vector ops, solve kind). A
-// nil sink — the default — keeps the solver silent.
+// reports into (visits, pushes, passes, seeding, vector ops, engine).
+// A nil sink — the default — keeps the solver silent.
 func (s *Solver) SetMetrics(m *obs.SolverMetrics) { s.metrics = m }
+
+// SetMode selects the execution engine for subsequent solves. The
+// default is SolveAuto.
+func (s *Solver) SetMode(m SolverMode) { s.mode = m }
+
+// Mode returns the configured execution mode.
+func (s *Solver) Mode() SolverMode { return s.mode }
 
 // ArenaStats exposes the solution-storage arena's slab statistics.
 func (s *Solver) ArenaStats() bitvec.ArenaStats { return s.arena.Stats() }
@@ -177,7 +282,21 @@ func (s *Solver) flush(kind obs.SolveKind) {
 		return
 	}
 	st := s.res.Stats
-	s.metrics.RecordSolve(kind, st.NodeVisits, st.Pushes, st.Seeded, s.g.NumNodes(), st.VecOps, st.Cancelled)
+	seedable := s.g.NumNodes()
+	if st.Sparse {
+		seedable = 0 // sparse solves have no dense seeding to reuse
+	}
+	s.metrics.RecordSolve(kind, obs.SolveCost{
+		Visits:           st.NodeVisits,
+		Pushes:           st.Pushes,
+		Passes:           st.Passes,
+		MaxWorklistDepth: st.MaxWorklistDepth,
+		Seeded:           st.Seeded,
+		Seedable:         seedable,
+		VecOps:           st.VecOps,
+		Sparse:           st.Sparse,
+		Cancelled:        st.Cancelled,
+	})
 }
 
 // cancelCheckStride is how many node visits pass between cancellation
@@ -188,6 +307,7 @@ const cancelCheckStride = 64
 // NewSolver creates a solver for p on g. No solving happens yet.
 func NewSolver(g *cfg.Graph, p VectorProblem) *Solver {
 	s := &Solver{g: g, p: p, forward: p.Direction() == Forward}
+	s.gk, _ = p.(GenKillProblem)
 	if s.forward {
 		s.order = cfg.ReversePostorder(g)
 	} else {
@@ -199,12 +319,30 @@ func NewSolver(g *cfg.Graph, p VectorProblem) *Solver {
 	s.top = p.Top()
 	s.boundary = p.Boundary()
 	s.tmp = bitvec.New(p.Bits())
-	s.inQueue = make([]bool, n)
+	s.pos = make([]int32, n)
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	for i, node := range s.order {
+		s.pos[node.ID] = int32(i)
+	}
+	s.wl.init(len(s.order))
 	s.affected = make([]bool, n)
-	s.queue = make([]*cfg.Node, 0, len(s.order))
+	s.frontier = make([]*cfg.Node, 0, len(s.order))
 	for _, node := range g.Nodes() {
 		s.res.In[node.ID] = s.arena.Copy(s.top)
 		s.res.Out[node.ID] = s.arena.Copy(s.top)
+	}
+	// The sparse engine handles exactly the paper's shape: gen/kill
+	// transfer, intersect meet, all-ones top, and the natural
+	// boundary (all-zeros entry for forward problems, all-ones exit
+	// for backward ones) that matches its background fill.
+	if s.gk != nil && p.Meet() == Intersect && s.top.Count() == p.Bits() {
+		if s.forward {
+			s.sparseOK = s.boundary.IsZero()
+		} else {
+			s.sparseOK = s.boundary.Count() == p.Bits()
+		}
 	}
 	return s
 }
@@ -212,20 +350,76 @@ func NewSolver(g *cfg.Graph, p VectorProblem) *Solver {
 // Result returns the current solution. Valid after Full or Resolve.
 func (s *Solver) Result() *Result { return &s.res }
 
+// graphReducible lazily computes and caches cfg.Reducible(g).
+func (s *Solver) graphReducible() bool {
+	if !s.reducibleKnown {
+		s.reducible = cfg.Reducible(s.g)
+		s.reducibleKnown = true
+	}
+	return s.reducible
+}
+
+// Sparse-selection thresholds for SolveAuto. A sparse solve costs one
+// background fill (≈2 vector sweeps) plus work proportional to the
+// per-bit influence regions, which seed-site count approximates; a
+// dense solve costs passes × nodes × words-per-vector word operations.
+// Sparse wins when the universe is wide and gen sites are scarce
+// relative to the dense sweep volume.
+const (
+	sparseMinBits    = 64
+	sparseSeedCost   = 8
+	denseSweepBudget = 6
+)
+
+// pickSparse decides the engine for the next solve.
+func (s *Solver) pickSparse() bool {
+	switch s.mode {
+	case SolveDense:
+		return false
+	case SolveSparse:
+		return s.sparseOK
+	}
+	if !s.sparseOK || s.p.Bits() < sparseMinBits {
+		return false
+	}
+	// Irreducible graphs go dense: the priority worklist's pass
+	// bound degrades there anyway, and keeping one engine for the
+	// hard cases keeps the fallback well-exercised (Figure 5).
+	if !s.graphReducible() {
+		return false
+	}
+	seeds := 0
+	for _, n := range s.order {
+		gen, kill := s.gk.GenKill(n)
+		if s.forward {
+			seeds += gen.Count()
+		} else {
+			s.tmp.AndNotInto(kill, gen)
+			seeds += s.tmp.Count()
+		}
+	}
+	words := (s.p.Bits() + 63) / 64
+	return seeds*sparseSeedCost <= len(s.order)*words*denseSweepBudget
+}
+
 // Full solves from scratch: every node re-initialized to top, every
-// node seeded.
+// node seeded (dense), or every bit propagated from its gen sites
+// (sparse).
 func (s *Solver) Full() *Result {
+	s.res.Touched = nil
+	if s.pickSparse() {
+		return s.solveSparse(obs.SolveFull)
+	}
 	for _, node := range s.g.Nodes() {
 		s.res.In[node.ID].CopyFrom(s.top)
 		s.res.Out[node.ID].CopyFrom(s.top)
 	}
 	s.applyBoundary()
-	s.queue = s.queue[:0]
-	for _, node := range s.order {
-		s.queue = append(s.queue, node)
-		s.inQueue[node.ID] = true
+	s.wl.clear()
+	for i := range s.order {
+		s.wl.push(i)
 	}
-	s.res.Stats = SolverStats{Seeded: len(s.queue), Pushes: len(s.queue)}
+	s.res.Stats = SolverStats{Seeded: len(s.order), Pushes: len(s.order)}
 	s.run()
 	s.solved = !s.res.Stats.Cancelled
 	s.flush(obs.SolveFull)
@@ -245,28 +439,65 @@ func (s *Solver) Full() *Result {
 // makes the descending iteration converge to the exact greatest
 // fixpoint of the updated system — byte-identical to a full solve.
 //
+// When the sparse engine is selected it re-solves in full instead:
+// its frontiers are re-derived from the problem's current gen/kill
+// sites each time, which re-seeds changed blocks by construction, and
+// its cost already scales with the gen sites rather than the graph.
+// Either engine may serve consecutive Resolves — both converge to the
+// same greatest fixpoint, so their solutions are interchangeable as
+// reuse baselines.
+//
 // Resolve on an unsolved Solver falls back to Full. An empty dirty set
 // returns the previous solution untouched.
 func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
+	return s.ResolveDelta(dirty, nil)
+}
+
+// ResolveDelta is Resolve with an optional changed-bits mask: when
+// non-nil, the caller asserts that every gen/kill bit that differs
+// from the previous solve — at any node — is set in the mask. (The
+// incremental analyses produce the mask for free while recomputing
+// their dirty blocks' local predicates.) Bits outside the mask have
+// unchanged equations everywhere; the bit-vector frameworks here are
+// bitwise independent, so the previous solution's columns for those
+// bits are already the greatest fixpoint and only the masked bits need
+// re-solving. When the sparse engine is eligible and the mask is
+// narrow, the solve clears and recomputes just those columns instead
+// of re-running every bit, and reports the nodes it moved through
+// Result.Touched.
+//
+// A nil mask makes no assertion and re-solves every bit of the
+// affected region (the classic Resolve).
+func (s *Solver) ResolveDelta(dirty []cfg.NodeID, changed *bitvec.Vector) *Result {
 	if !s.solved {
 		return s.Full()
 	}
 	if len(dirty) == 0 {
 		s.res.Stats = SolverStats{}
+		s.res.Touched = s.touched[:0] // nothing changed anywhere
 		if s.metrics != nil {
 			s.metrics.RecordCacheHit()
 		}
 		return &s.res
+	}
+	if changed != nil && s.sparseDeltaEligible(changed) {
+		return s.solveSparseDelta(changed)
+	}
+	if s.pickSparse() {
+		s.res.Touched = nil
+		return s.solveSparse(obs.SolveIncremental)
 	}
 
 	// Mark the affected region by BFS against the flow direction of
 	// dependence: backward problems depend on successors, so a dirty
 	// node invalidates its transitive predecessors; forward dually.
 	clear(s.affected)
-	frontier := s.queue[:0] // reuse queue storage as BFS scratch
+	frontier := s.frontier[:0]
+	touched := s.touched[:0]
 	for _, id := range dirty {
 		if !s.affected[id] {
 			s.affected[id] = true
+			touched = append(touched, id)
 			frontier = append(frontier, s.g.Node(id))
 		}
 	}
@@ -282,31 +513,62 @@ func (s *Solver) Resolve(dirty []cfg.NodeID) *Result {
 		for _, d := range deps {
 			if !s.affected[d.ID] {
 				s.affected[d.ID] = true
+				touched = append(touched, d.ID)
 				frontier = append(frontier, d)
 			}
 		}
 	}
+	s.touched = touched
 
-	// Re-initialize and seed only the affected region, in solve
-	// order.
-	s.queue = s.queue[:0]
-	for _, node := range s.order {
+	// Re-initialize and seed only the affected region.
+	s.wl.clear()
+	seeded := 0
+	for i, node := range s.order {
 		if !s.affected[node.ID] {
 			continue
 		}
 		s.res.In[node.ID].CopyFrom(s.top)
 		s.res.Out[node.ID].CopyFrom(s.top)
-		s.queue = append(s.queue, node)
-		s.inQueue[node.ID] = true
+		s.wl.push(i)
+		seeded++
 	}
 	s.applyBoundary()
-	s.res.Stats = SolverStats{Seeded: len(s.queue), Pushes: len(s.queue)}
+	s.res.Stats = SolverStats{Seeded: seeded, Pushes: seeded}
 	s.run()
+	// Values outside the affected region provably kept their old
+	// bits; a cancelled run guarantees nothing.
+	s.res.Touched = touched
 	if s.res.Stats.Cancelled {
 		s.solved = false
+		s.res.Touched = nil
 	}
 	s.flush(obs.SolveIncremental)
 	return &s.res
+}
+
+// sparseDeltaThresholdWords bounds the per-bit column rewrites of a
+// delta solve: clearing one bit's column costs two word operations per
+// node, so once the changed-bit count rivals a few vector widths, a
+// plain background refill (which pays words-per-vector per node once)
+// plus a full sparse solve is cheaper.
+const sparseDeltaThresholdWords = 4
+
+// sparseDeltaEligible reports whether the delta path should serve a
+// re-solve for the given changed-bits mask. The gates mirror pickSparse
+// (shape, width, reducibility) with the density test replaced by the
+// mask-width threshold; SolveDense always wins, and a forced
+// SolveSparse skips only the width/reducibility gates.
+func (s *Solver) sparseDeltaEligible(changed *bitvec.Vector) bool {
+	if !s.sparseOK || s.mode == SolveDense {
+		return false
+	}
+	if s.mode != SolveSparse {
+		if s.p.Bits() < sparseMinBits || !s.graphReducible() {
+			return false
+		}
+	}
+	words := (s.p.Bits() + 63) / 64
+	return changed.Count() <= words*sparseDeltaThresholdWords
 }
 
 func (s *Solver) applyBoundary() {
@@ -317,16 +579,26 @@ func (s *Solver) applyBoundary() {
 	}
 }
 
-// run drains the worklist. The queue is consumed via a head index —
-// re-slicing the backing array from the front would pin its full
-// length for the life of the solve (and grow it on every requeue).
+// run drains the priority worklist. Membership lives in a bitset over
+// solve-order positions; the scan cursor pops the lowest pending
+// position at or after itself, so nodes drain in reverse postorder
+// (forward) or postorder (backward) and every cursor wraparound is one
+// complete round-robin sweep — the Passes statistic counts exactly
+// those sweeps.
 func (s *Solver) run() {
 	res := &s.res
 	p := s.p
 	g := s.g
 	intersect := p.Meet() == Intersect
 
-	vecOps, pushes := 0, 0
+	vecOps, pushes, visits := 0, 0, 0
+	passes := 0
+	maxDepth := s.wl.size
+	if s.wl.size > 0 {
+		passes = 1
+	}
+	scan := 0
+
 	meetInto := func(dst, src *bitvec.Vector) {
 		vecOps++
 		if intersect {
@@ -335,22 +607,31 @@ func (s *Solver) run() {
 			dst.Or(src)
 		}
 	}
-
-	for head := 0; head < len(s.queue); head++ {
-		if s.cancel != nil && head%cancelCheckStride == 0 && s.cancel() {
-			// Abandon the solve: un-queue the pending nodes so
-			// the flags stay consistent for the next (full)
-			// solve, and mark the result partial.
-			for _, pending := range s.queue[head:] {
-				s.inQueue[pending.ID] = false
+	pushDep := func(id cfg.NodeID) {
+		if pp := s.pos[id]; pp >= 0 && s.wl.push(int(pp)) {
+			pushes++
+			if s.wl.size > maxDepth {
+				maxDepth = s.wl.size
 			}
-			s.queue = s.queue[:0]
-			res.Stats.Cancelled = true
-			return
 		}
-		node := s.queue[head]
-		s.inQueue[node.ID] = false
-		res.Stats.NodeVisits++
+	}
+
+	for s.wl.size > 0 {
+		if s.cancel != nil && visits%cancelCheckStride == 0 && s.cancel() {
+			// Abandon the solve: drop the pending worklist and
+			// mark the result partial.
+			s.wl.clear()
+			res.Stats.Cancelled = true
+			break
+		}
+		pos := s.wl.pop(scan)
+		if pos < 0 {
+			pos = s.wl.pop(0)
+			passes++
+		}
+		scan = pos + 1
+		node := s.order[pos]
+		visits++
 		faultinject.Fire(faultinject.SolverVisit, nil)
 
 		if s.forward {
@@ -366,17 +647,22 @@ func (s *Solver) run() {
 					}
 				}
 			}
-			p.Transfer(node, res.In[node.ID], s.tmp)
-			vecOps += 2 // the transfer evaluation and the change test
-			if !s.tmp.Equal(res.Out[node.ID]) {
-				res.Out[node.ID].CopyFrom(s.tmp)
-				vecOps++
+			var changed bool
+			if s.gk != nil {
+				gen, kill := s.gk.GenKill(node)
+				changed = res.Out[node.ID].AndNotOrInto(res.In[node.ID], kill, gen)
+				vecOps++ // one fused transfer-and-change-test pass
+			} else {
+				p.Transfer(node, res.In[node.ID], s.tmp)
+				vecOps += 2 // the transfer evaluation and the change test
+				if changed = !s.tmp.Equal(res.Out[node.ID]); changed {
+					res.Out[node.ID].CopyFrom(s.tmp)
+					vecOps++
+				}
+			}
+			if changed {
 				for _, succ := range node.Succs() {
-					if !s.inQueue[succ.ID] {
-						s.inQueue[succ.ID] = true
-						s.queue = append(s.queue, succ)
-						pushes++
-					}
+					pushDep(succ.ID)
 				}
 			}
 		} else {
@@ -390,25 +676,86 @@ func (s *Solver) run() {
 					}
 				}
 			}
-			p.Transfer(node, res.Out[node.ID], s.tmp)
-			vecOps += 2 // the transfer evaluation and the change test
-			if !s.tmp.Equal(res.In[node.ID]) {
-				res.In[node.ID].CopyFrom(s.tmp)
+			var changed bool
+			if s.gk != nil {
+				gen, kill := s.gk.GenKill(node)
+				changed = res.In[node.ID].AndNotOrInto(res.Out[node.ID], kill, gen)
 				vecOps++
+			} else {
+				p.Transfer(node, res.Out[node.ID], s.tmp)
+				vecOps += 2
+				if changed = !s.tmp.Equal(res.In[node.ID]); changed {
+					res.In[node.ID].CopyFrom(s.tmp)
+					vecOps++
+				}
+			}
+			if changed {
 				for _, pr := range node.Preds() {
-					if !s.inQueue[pr.ID] {
-						s.inQueue[pr.ID] = true
-						s.queue = append(s.queue, pr)
-						pushes++
-					}
+					pushDep(pr.ID)
 				}
 			}
 		}
 	}
-	s.queue = s.queue[:0]
+	res.Stats.NodeVisits += visits
 	res.Stats.Pushes += pushes
 	res.Stats.VecOps += vecOps
-	if n := g.NumNodes(); n > 0 {
-		res.Stats.Passes = (res.Stats.NodeVisits + n - 1) / n
+	res.Stats.Passes = passes
+	res.Stats.MaxWorklistDepth = maxDepth
+}
+
+// prioWorklist is a bitset-backed priority queue over solve-order
+// positions. push sets a bit; pop(from) clears and returns the lowest
+// set position at or after from, or -1. Draining with a wrapping scan
+// cursor yields round-robin sweeps in solve order.
+type prioWorklist struct {
+	words []uint64
+	n     int // number of positions
+	size  int // bits currently set
+}
+
+func (w *prioWorklist) init(n int) {
+	w.n = n
+	w.words = make([]uint64, (n+63)/64)
+	w.size = 0
+}
+
+func (w *prioWorklist) clear() {
+	for i := range w.words {
+		w.words[i] = 0
+	}
+	w.size = 0
+}
+
+// push inserts pos; reports whether it was newly inserted.
+func (w *prioWorklist) push(pos int) bool {
+	idx, bit := pos>>6, uint64(1)<<(uint(pos)&63)
+	if w.words[idx]&bit != 0 {
+		return false
+	}
+	w.words[idx] |= bit
+	w.size++
+	return true
+}
+
+// pop removes and returns the lowest set position >= from, or -1.
+func (w *prioWorklist) pop(from int) int {
+	if from >= w.n {
+		return -1
+	}
+	idx := from >> 6
+	word := w.words[idx] &^ ((uint64(1) << (uint(from) & 63)) - 1)
+	for {
+		if word != 0 {
+			bit := bits.TrailingZeros64(word)
+			pos := idx<<6 + bit
+			w.words[idx] &^= uint64(1) << uint(bit)
+			w.size--
+			return pos
+		}
+		idx++
+		if idx >= len(w.words) {
+			return -1
+		}
+		word = w.words[idx]
 	}
 }

@@ -1,0 +1,563 @@
+package dataflow
+
+import (
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/faultinject"
+	"pdce/internal/obs"
+)
+
+// The sparse engine solves a gen/kill, intersect-meet, all-ones-top
+// problem one bit at a time, touching only the region of the graph
+// each bit's gen and kill sites can influence. It is exact — it
+// computes the same greatest fixpoint as the dense engine, on any
+// graph shape — but its cost scales with the gen/kill sites instead of
+// nodes × universe width, which is the win the paper's equation
+// systems invite: a pattern's delayability is all-zero outside the
+// region its candidate occurrences reach, and a variable's deadness is
+// all-ones outside the region its uses reach backwards.
+//
+// Forward (delayability shape: boundary all-zeros, so the background
+// value is 0 and the solve raises bits):
+//
+//  1. From the bit's gen sites, flood forward through non-kill nodes
+//     to find every node whose In or Out could be 1 ("possible"
+//     region). Out is possible at a gen site regardless of kill; In is
+//     possible at every successor of an out-possible node.
+//  2. The flood is an over-approximation: the intersect meet zeroes In
+//     wherever ANY predecessor's Out is not possible (or the node is
+//     Start, whose In is the all-zeros boundary). Initialize the
+//     region optimistically to 1 and propagate those zeros to closure:
+//     In falling to 0 drops Out to 0 unless the node is a gen site,
+//     and a dropped Out re-examines the successors' Ins. What survives
+//     is exactly the greatest fixpoint restricted to this bit.
+//  3. Write the surviving 1s onto the all-zeros background.
+//
+// Backward (dead-variables shape: boundary all-ones, background 1, the
+// solve lowers bits): zeros need no region discovery, they propagate
+// directly. A node whose block kills the bit without regenerating it
+// (kill AND NOT gen — for dead variables: a use not shadowed by an
+// earlier pure definition) forces In = 0; In(n) = 0 forces Out(p) = 0
+// for every predecessor p (intersect over successors), except End,
+// whose Out is the all-ones boundary; Out(p) = 0 forces In(p) = 0
+// unless p's block regenerates the bit. The closure of that relation
+// is exactly the set of 0s in the greatest fixpoint; everything else
+// keeps the background 1.
+type sparseState struct {
+	// stamp/flags are per-NodeID scratch, valid for the bit whose
+	// epoch matches; epoch bumping replaces O(nodes) clearing.
+	stamp []uint32
+	flags []uint8
+	epoch uint32
+
+	region []int32 // NodeIDs touched by the current bit
+	stack  []int32
+	fall   []int32 // forward phase 2: nodes whose Out newly fell to 0
+
+	// gen/kill vectors gathered per NodeID at solve start.
+	gen  []*bitvec.Vector
+	kill []*bitvec.Vector
+
+	// seed buckets: seedNodes[seedOff[b-1]:seedOff[b]] lists the
+	// NodeIDs whose block seeds bit b (gen sites forward, kill&^gen
+	// sites backward).
+	seedOff   []int32
+	seedNodes []int32
+
+	// Delta-solve scratch: the list of bits being re-solved and the
+	// stamp set collecting Result.Touched across them.
+	bitList    []int32
+	touchStamp []uint32
+	touchEpoch uint32
+}
+
+// Per-bit flag bits. Forward uses all four ("possible" from phase 1,
+// "value" from phase 2); backward uses the two zero marks.
+const (
+	fInPoss uint8 = 1 << iota
+	fOutPoss
+	fInVal
+	fOutVal
+
+	bInZero  = fInPoss
+	bOutZero = fOutPoss
+)
+
+func (s *Solver) ensureSparse() *sparseState {
+	if s.sp == nil {
+		n := s.g.NumNodes()
+		s.sp = &sparseState{
+			stamp:   make([]uint32, n),
+			flags:   make([]uint8, n),
+			gen:     make([]*bitvec.Vector, n),
+			kill:    make([]*bitvec.Vector, n),
+			seedOff: make([]int32, s.p.Bits()+1),
+		}
+	}
+	return s.sp
+}
+
+// enter stamps id into the current bit's working set, returning its
+// flags (zeroed on first touch).
+func (sp *sparseState) enter(id int32) uint8 {
+	if sp.stamp[id] != sp.epoch {
+		sp.stamp[id] = sp.epoch
+		sp.flags[id] = 0
+		sp.region = append(sp.region, id)
+	}
+	return sp.flags[id]
+}
+
+// peek reads id's flags without entering it.
+func (sp *sparseState) peek(id int32) uint8 {
+	if sp.stamp[id] != sp.epoch {
+		return 0
+	}
+	return sp.flags[id]
+}
+
+// bumpEpoch starts a fresh per-bit working set, handling stamp
+// wraparound.
+func (sp *sparseState) bumpEpoch() {
+	sp.epoch++
+	if sp.epoch == 0 { // wrapped: stamps are ambiguous, reset
+		for i := range sp.stamp {
+			sp.stamp[i] = 0
+		}
+		sp.epoch = 1
+	}
+	sp.region = sp.region[:0]
+}
+
+// solveSparseDelta re-solves only the bits of the changed mask on top
+// of the previous solution: each changed bit's column is reset to the
+// background value (tracking which nodes actually held a foreground
+// bit) and then re-solved from its current seed sites exactly like a
+// full sparse solve of that bit. Bits outside the mask keep their old
+// columns — by the caller's contract their equations did not change,
+// and each bit's greatest fixpoint depends on its own gen/kill sites
+// alone, so those columns are already exact. The union of reset and
+// re-written nodes becomes Result.Touched.
+func (s *Solver) solveSparseDelta(changed *bitvec.Vector) *Result {
+	sp := s.ensureSparse()
+	bitsN := s.p.Bits()
+
+	for _, n := range s.order {
+		sp.gen[n.ID], sp.kill[n.ID] = s.gk.GenKill(n)
+	}
+
+	// Bucket the seed sites of the changed bits only; the masked
+	// enumerations skip whole words of gen/kill where the mask is
+	// zero, so the gather scales with the mask width, not the
+	// universe width.
+	off := sp.seedOff
+	for i := range off {
+		off[i] = 0
+	}
+	total := 0
+	for _, n := range s.order {
+		count := func(b int) { off[b+1]++; total++ }
+		if s.forward {
+			sp.gen[n.ID].ForEachAnd(changed, count)
+		} else {
+			sp.kill[n.ID].ForEachAndNotAnd(sp.gen[n.ID], changed, count)
+		}
+	}
+	for b := 1; b <= bitsN; b++ {
+		off[b] += off[b-1]
+	}
+	if cap(sp.seedNodes) < total {
+		sp.seedNodes = make([]int32, total)
+	}
+	sp.seedNodes = sp.seedNodes[:total]
+	for _, n := range s.order {
+		id := int32(n.ID)
+		fill := func(b int) { sp.seedNodes[off[b]] = id; off[b]++ }
+		if s.forward {
+			sp.gen[n.ID].ForEachAnd(changed, fill)
+		} else {
+			sp.kill[n.ID].ForEachAndNotAnd(sp.gen[n.ID], changed, fill)
+		}
+	}
+
+	bits := sp.bitList[:0]
+	changed.ForEach(func(b int) { bits = append(bits, int32(b)) })
+	sp.bitList = bits
+
+	if sp.touchStamp == nil {
+		sp.touchStamp = make([]uint32, s.g.NumNodes())
+	}
+	sp.touchEpoch++
+	if sp.touchEpoch == 0 {
+		for i := range sp.touchStamp {
+			sp.touchStamp[i] = 0
+		}
+		sp.touchEpoch = 1
+	}
+	touched := s.touched[:0]
+	touch := func(id cfg.NodeID) {
+		if sp.touchStamp[id] != sp.touchEpoch {
+			sp.touchStamp[id] = sp.touchEpoch
+			touched = append(touched, id)
+		}
+	}
+
+	st := sparseRunStats{}
+	vecOps := 0
+	cancelled := false
+	for _, bb := range bits {
+		b := int(bb)
+		// Reset the bit's column to the background value. The
+		// boundary needs no special case: the forward background 0
+		// matches Start's all-zeros entry, the backward background
+		// 1 matches End's all-ones exit, and the per-bit solvers
+		// never overwrite either.
+		if s.forward {
+			for _, n := range s.order {
+				c := s.res.In[n.ID].ClearChanged(b)
+				if s.res.Out[n.ID].ClearChanged(b) {
+					c = true
+				}
+				if c {
+					touch(n.ID)
+				}
+			}
+		} else {
+			for _, n := range s.order {
+				c := s.res.In[n.ID].SetChanged(b)
+				if s.res.Out[n.ID].SetChanged(b) {
+					c = true
+				}
+				if c {
+					touch(n.ID)
+				}
+			}
+		}
+		vecOps += 2
+
+		s0 := int32(0)
+		if b > 0 {
+			s0 = off[b-1]
+		}
+		if seeds := sp.seedNodes[s0:off[b]]; len(seeds) > 0 {
+			sp.bumpEpoch()
+			if s.forward {
+				s.sparseForwardBit(b, seeds, &st)
+			} else {
+				s.sparseBackwardBit(b, seeds, &st)
+			}
+			for _, id := range sp.region {
+				touch(cfg.NodeID(id))
+			}
+		}
+		if s.cancel != nil && st.visits >= st.nextCancel {
+			st.nextCancel = st.visits + cancelCheckStride
+			if s.cancel() {
+				cancelled = true
+				break
+			}
+		}
+	}
+	s.touched = touched
+
+	passes := 0
+	if len(bits) > 0 {
+		passes = 1
+	}
+	s.res.Stats = SolverStats{
+		NodeVisits:       st.visits,
+		Passes:           passes,
+		MaxWorklistDepth: st.maxDepth,
+		Pushes:           st.pushes,
+		VecOps:           vecOps,
+		Sparse:           true,
+		Cancelled:        cancelled,
+	}
+	s.res.Touched = touched
+	s.solved = !cancelled
+	if cancelled {
+		// A partial delta rewrite guarantees nothing about any
+		// column; the next solve restarts from scratch.
+		s.res.Touched = nil
+	}
+	s.flush(obs.SolveIncremental)
+	return &s.res
+}
+
+// solveSparse runs the sparse engine for a full solve. It is also the
+// incremental path: frontiers are re-derived from the problem's
+// current gen/kill sites, so changed blocks are re-seeded by
+// construction.
+func (s *Solver) solveSparse(kind obs.SolveKind) *Result {
+	sp := s.ensureSparse()
+	bitsN := s.p.Bits()
+	s.res.Touched = nil
+
+	// Gather gen/kill per node once — problems may rebuild their
+	// vectors between solves.
+	for _, n := range s.order {
+		sp.gen[n.ID], sp.kill[n.ID] = s.gk.GenKill(n)
+	}
+
+	// Background fill over the reachable nodes (the only ones either
+	// engine visits): forward problems sit on an all-zeros background
+	// and raise bits, backward ones on all-ones and lower them.
+	vecOps := 0
+	for _, n := range s.order {
+		if s.forward {
+			s.res.In[n.ID].ClearAll()
+			s.res.Out[n.ID].ClearAll()
+		} else {
+			s.res.In[n.ID].SetAll()
+			s.res.Out[n.ID].SetAll()
+		}
+		vecOps += 2
+	}
+	s.applyBoundary()
+
+	// Bucket seed sites by bit: gen sites forward, kill&^gen sites
+	// backward (kill without regeneration is what forces a zero).
+	off := sp.seedOff
+	for i := range off {
+		off[i] = 0
+	}
+	total := 0
+	for _, n := range s.order {
+		count := func(b int) { off[b+1]++; total++ }
+		if s.forward {
+			sp.gen[n.ID].ForEach(count)
+		} else {
+			sp.kill[n.ID].ForEachAndNot(sp.gen[n.ID], count)
+		}
+	}
+	for b := 1; b <= bitsN; b++ {
+		off[b] += off[b-1]
+	}
+	if cap(sp.seedNodes) < total {
+		sp.seedNodes = make([]int32, total)
+	}
+	sp.seedNodes = sp.seedNodes[:total]
+	for _, n := range s.order {
+		id := int32(n.ID)
+		fill := func(b int) { sp.seedNodes[off[b]] = id; off[b]++ }
+		if s.forward {
+			sp.gen[n.ID].ForEach(fill)
+		} else {
+			sp.kill[n.ID].ForEachAndNot(sp.gen[n.ID], fill)
+		}
+	}
+	// After filling, off[b] is the END of bucket b; bucket b starts
+	// at off[b-1] (0 for b == 0).
+
+	st := sparseRunStats{}
+	cancelled := false
+	start := off[0] - off[0] // 0, kept for symmetry
+	for b := 0; b < bitsN; b++ {
+		end := off[b]
+		if start == end {
+			start = end
+			continue
+		}
+		seeds := sp.seedNodes[start:end]
+		start = end
+
+		sp.bumpEpoch()
+
+		if s.forward {
+			s.sparseForwardBit(b, seeds, &st)
+		} else {
+			s.sparseBackwardBit(b, seeds, &st)
+		}
+		if s.cancel != nil && st.visits >= st.nextCancel {
+			st.nextCancel = st.visits + cancelCheckStride
+			if s.cancel() {
+				cancelled = true
+				break
+			}
+		}
+	}
+
+	passes := 0
+	if st.visits > 0 || total > 0 {
+		passes = 1
+	}
+	s.res.Stats = SolverStats{
+		NodeVisits:       st.visits,
+		Passes:           passes,
+		MaxWorklistDepth: st.maxDepth,
+		Pushes:           st.pushes,
+		VecOps:           vecOps,
+		Sparse:           true,
+		Cancelled:        cancelled,
+	}
+	// A cancelled sparse solution is partial — some bits never ran —
+	// so it must be discarded exactly like a cancelled dense solve:
+	// the solver re-solves in full on its next use.
+	s.solved = !cancelled
+	s.flush(kind)
+	return &s.res
+}
+
+// sparseRunStats accumulates work counters across the per-bit solves.
+type sparseRunStats struct {
+	visits, pushes, maxDepth int
+	nextCancel               int
+}
+
+func (st *sparseRunStats) visit() {
+	st.visits++
+	faultinject.Fire(faultinject.SolverVisit, nil)
+}
+
+func (st *sparseRunStats) depth(d int) {
+	if d > st.maxDepth {
+		st.maxDepth = d
+	}
+}
+
+// sparseForwardBit solves one bit of a forward problem (see the
+// three-phase scheme in the type comment).
+func (s *Solver) sparseForwardBit(b int, seeds []int32, st *sparseRunStats) {
+	sp := s.sp
+	startID := int32(s.g.Start.ID)
+
+	// Phase 1: flood the possible-1 region forward from the gen
+	// sites. Mark all seeds' Outs before draining so the kill check
+	// below never suppresses a gen site.
+	stack := sp.stack[:0]
+	for _, id := range seeds {
+		if f := sp.enter(id); f&fOutPoss == 0 {
+			sp.flags[id] = f | fOutPoss | fOutVal
+			stack = append(stack, id)
+			st.pushes++
+		}
+	}
+	st.depth(len(stack))
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.visit()
+		for _, m := range s.g.Node(cfg.NodeID(id)).Succs() {
+			mid := int32(m.ID)
+			f := sp.enter(mid)
+			nf := f | fInPoss | fInVal
+			if f&fOutPoss == 0 && !sp.kill[mid].Get(b) {
+				nf |= fOutPoss | fOutVal
+				stack = append(stack, mid)
+				st.pushes++
+				st.depth(len(stack))
+			}
+			sp.flags[mid] = nf
+		}
+	}
+
+	// Phase 2: kill the over-approximation. In is truly 1 only if
+	// EVERY predecessor's Out can be 1 (intersect meet); Start's In
+	// is the all-zeros boundary. Zeros cascade: In falling drops Out
+	// (unless gen), and a dropped Out re-examines successors.
+	fall := sp.fall[:0]
+	lower := func(id int32) {
+		f := sp.flags[id]
+		if f&fInVal == 0 {
+			return
+		}
+		f &^= fInVal
+		if f&fOutVal != 0 && !sp.gen[id].Get(b) {
+			f &^= fOutVal
+			fall = append(fall, id)
+			st.pushes++
+			st.depth(len(fall))
+		}
+		sp.flags[id] = f
+	}
+	for _, id := range sp.region {
+		if sp.flags[id]&fInPoss == 0 {
+			continue
+		}
+		if id == startID {
+			lower(id)
+			continue
+		}
+		for _, p := range s.g.Node(cfg.NodeID(id)).Preds() {
+			if sp.peek(int32(p.ID))&fOutPoss == 0 {
+				lower(id)
+				break
+			}
+		}
+	}
+	for len(fall) > 0 {
+		id := fall[len(fall)-1]
+		fall = fall[:len(fall)-1]
+		st.visit()
+		for _, m := range s.g.Node(cfg.NodeID(id)).Succs() {
+			if sp.peek(int32(m.ID))&fInVal != 0 {
+				lower(int32(m.ID))
+			}
+		}
+	}
+
+	// Phase 3: write the survivors onto the all-zeros background.
+	for _, id := range sp.region {
+		f := sp.flags[id]
+		if f&fInVal != 0 {
+			s.res.In[id].Set(b)
+		}
+		if f&fOutVal != 0 {
+			s.res.Out[id].Set(b)
+		}
+	}
+	sp.stack, sp.fall = stack[:0], fall[:0]
+}
+
+// sparseBackwardBit solves one bit of a backward problem by direct
+// zero propagation (see the type comment).
+func (s *Solver) sparseBackwardBit(b int, seeds []int32, st *sparseRunStats) {
+	sp := s.sp
+	endID := int32(s.g.End.ID)
+
+	stack := sp.stack[:0]
+	for _, id := range seeds {
+		if f := sp.enter(id); f&bInZero == 0 {
+			sp.flags[id] = f | bInZero
+			stack = append(stack, id)
+			st.pushes++
+		}
+	}
+	st.depth(len(stack))
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.visit()
+		for _, p := range s.g.Node(cfg.NodeID(id)).Preds() {
+			pid := int32(p.ID)
+			if pid == endID {
+				continue // End's Out is the all-ones boundary
+			}
+			f := sp.enter(pid)
+			if f&bOutZero != 0 {
+				continue
+			}
+			f |= bOutZero
+			// In(p) = (Out(p) &^ kill) | gen = gen when Out
+			// is 0: the zero continues unless p regenerates.
+			if f&bInZero == 0 && !sp.gen[pid].Get(b) {
+				f |= bInZero
+				stack = append(stack, pid)
+				st.pushes++
+				st.depth(len(stack))
+			}
+			sp.flags[pid] = f
+		}
+	}
+
+	for _, id := range sp.region {
+		f := sp.flags[id]
+		if f&bInZero != 0 {
+			s.res.In[id].Clear(b)
+		}
+		if f&bOutZero != 0 {
+			s.res.Out[id].Clear(b)
+		}
+	}
+	sp.stack = stack[:0]
+}

@@ -1,0 +1,293 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdce/internal/bitvec"
+	"pdce/internal/cfg"
+	"pdce/internal/parser"
+	"pdce/internal/progen"
+)
+
+// gkProblem is a randomized gen/kill problem in the exact shape the
+// sparse engine handles: intersect meet, all-ones top, natural
+// boundary. Both directions.
+type gkProblem struct {
+	dir       Direction
+	bits      int
+	gen, kill []*bitvec.Vector // by NodeID
+}
+
+func (p *gkProblem) Bits() int            { return p.bits }
+func (p *gkProblem) Direction() Direction { return p.dir }
+func (p *gkProblem) Meet() Meet           { return Intersect }
+func (p *gkProblem) Boundary() *bitvec.Vector {
+	if p.dir == Forward {
+		return bitvec.New(p.bits)
+	}
+	return bitvec.NewAllOnes(p.bits)
+}
+func (p *gkProblem) Top() *bitvec.Vector { return bitvec.NewAllOnes(p.bits) }
+func (p *gkProblem) Transfer(n *cfg.Node, in, out *bitvec.Vector) {
+	out.CopyFrom(in)
+	out.AndNot(p.kill[n.ID])
+	out.Or(p.gen[n.ID])
+}
+func (p *gkProblem) GenKill(n *cfg.Node) (gen, kill *bitvec.Vector) {
+	return p.gen[n.ID], p.kill[n.ID]
+}
+
+// randomGK builds a gkProblem with the given gen/kill site densities.
+func randomGK(g *cfg.Graph, rng *rand.Rand, dir Direction, bits int, genProb, killProb float64) *gkProblem {
+	p := &gkProblem{
+		dir:  dir,
+		bits: bits,
+		gen:  make([]*bitvec.Vector, g.NumNodes()),
+		kill: make([]*bitvec.Vector, g.NumNodes()),
+	}
+	for _, n := range g.Nodes() {
+		p.gen[n.ID] = bitvec.New(bits)
+		p.kill[n.ID] = bitvec.New(bits)
+		for b := 0; b < bits; b++ {
+			if rng.Float64() < genProb {
+				p.gen[n.ID].Set(b)
+			}
+			if rng.Float64() < killProb {
+				p.kill[n.ID].Set(b)
+			}
+		}
+	}
+	return p
+}
+
+// cloneGK gives each solver its own problem instance so in-place
+// mutations during incremental tests stay in sync by construction.
+func cloneGK(p *gkProblem) *gkProblem {
+	q := &gkProblem{dir: p.dir, bits: p.bits}
+	for i := range p.gen {
+		q.gen = append(q.gen, p.gen[i].Copy())
+		q.kill = append(q.kill, p.kill[i].Copy())
+	}
+	return q
+}
+
+func sameSolution(t *testing.T, tag string, g *cfg.Graph, a, b *Result) {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if !a.In[n.ID].Equal(b.In[n.ID]) {
+			t.Fatalf("%s: In(%s) differs:\n dense  %s\n sparse %s", tag, n.Label, a.In[n.ID], b.In[n.ID])
+		}
+		if !a.Out[n.ID].Equal(b.Out[n.ID]) {
+			t.Fatalf("%s: Out(%s) differs:\n dense  %s\n sparse %s", tag, n.Label, a.Out[n.ID], b.Out[n.ID])
+		}
+	}
+}
+
+// TestSparseMatchesDenseRandom compares the two engines bit for bit on
+// random graphs — structured and irreducible — in both directions and
+// at several gen/kill densities. The sparse engine must be exact, not
+// approximate, on every shape (it is only the Auto HEURISTIC that
+// avoids irreducible graphs, not a correctness requirement).
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, irr := range []bool{false, true} {
+			g := progen.Generate(progen.Params{Seed: seed, Stmts: 50, Irreducible: irr})
+			rng := rand.New(rand.NewSource(seed * 977))
+			for _, dir := range []Direction{Forward, Backward} {
+				for _, density := range []struct{ gen, kill float64 }{
+					{0.02, 0.05},
+					{0.15, 0.25},
+					{0.6, 0.6},
+				} {
+					p := randomGK(g, rng, dir, 130, density.gen, density.kill)
+
+					dense := NewSolver(g, p)
+					dense.SetMode(SolveDense)
+					dres := dense.Full()
+					if dres.Stats.Sparse {
+						t.Fatal("forced dense ran sparse")
+					}
+
+					sparse := NewSolver(g, p)
+					sparse.SetMode(SolveSparse)
+					sres := sparse.Full()
+					if !sres.Stats.Sparse {
+						t.Fatal("forced sparse fell back to dense on a qualifying problem")
+					}
+
+					tag := fmt.Sprintf("seed=%d irr=%v dir=%v gen=%.2f", seed, irr, dir, density.gen)
+					sameSolution(t, tag, g, dres, sres)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseMatchesDenseIncremental runs both engines through a
+// sequence of gen/kill mutations and Resolve calls, checking that the
+// sparse full re-solve and the dense incremental region re-solve land
+// on the same fixpoint every step.
+func TestSparseMatchesDenseIncremental(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := progen.Generate(progen.Params{Seed: seed, Stmts: 60, Vars: 6})
+		rng := rand.New(rand.NewSource(seed + 5000))
+		pd := randomGK(g, rng, Backward, 96, 0.05, 0.1)
+		ps := cloneGK(pd)
+
+		dense := NewSolver(g, pd)
+		dense.SetMode(SolveDense)
+		sparse := NewSolver(g, ps)
+		sparse.SetMode(SolveSparse)
+		sameSolution(t, "initial", g, dense.Full(), sparse.Full())
+
+		nodes := g.Nodes()
+		for step := 0; step < 15; step++ {
+			var dirty []cfg.NodeID
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				n := nodes[rng.Intn(len(nodes))]
+				b := rng.Intn(96)
+				gv, kv := rng.Intn(2) == 0, rng.Intn(2) == 0
+				for _, p := range []*gkProblem{pd, ps} {
+					p.gen[n.ID].Assign(b, gv)
+					p.kill[n.ID].Assign(b, kv)
+				}
+				dirty = append(dirty, n.ID)
+			}
+			dres := dense.Resolve(dirty)
+			sres := sparse.Resolve(dirty)
+			sameSolution(t, fmt.Sprintf("seed=%d step=%d", seed, step), g, dres, sres)
+		}
+	}
+}
+
+// TestAutoModeSelection pins the Auto policy: irreducible graphs and
+// non-gen/kill problems run dense; a wide, sparsely seeded problem on
+// a reducible graph runs sparse.
+func TestAutoModeSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	red := progen.Generate(progen.Params{Seed: 1, Stmts: 60})
+	p := randomGK(red, rng, Forward, 256, 0.01, 0.05)
+	s := NewSolver(red, p)
+	if res := s.Full(); !res.Stats.Sparse {
+		t.Error("auto did not pick sparse for a wide, sparsely seeded reducible problem")
+	}
+
+	irr := progen.Generate(progen.Params{Seed: 2, Stmts: 60, Irreducible: true})
+	if !cfg.Reducible(irr) {
+		pi := randomGK(irr, rng, Forward, 256, 0.01, 0.05)
+		si := NewSolver(irr, pi)
+		if res := si.Full(); res.Stats.Sparse {
+			t.Error("auto picked sparse on an irreducible graph")
+		}
+	}
+
+	// Dense universes flood nearly every bit everywhere; auto must
+	// stay dense there.
+	pdense := randomGK(red, rng, Forward, 256, 0.9, 0.1)
+	sd := NewSolver(red, pdense)
+	if res := sd.Full(); res.Stats.Sparse {
+		t.Error("auto picked sparse for a saturated seed set")
+	}
+}
+
+// TestSparseFallbackOnUnqualifiedProblem forces SolveSparse on a
+// problem outside the sparse shape (union meet, no gen/kill form) and
+// checks the solver quietly runs the dense engine instead.
+func TestSparseFallbackOnUnqualifiedProblem(t *testing.T) {
+	g := parser.MustParseCFG(`
+node a {}
+node b {}
+edge s a
+edge a b
+edge b e
+`)
+	s := NewSolver(g, &reachProblem{genLabel: "a"})
+	s.SetMode(SolveSparse)
+	res := s.Full()
+	if res.Stats.Sparse {
+		t.Fatal("sparse engine ran on a non-gen/kill union problem")
+	}
+	a, _ := g.NodeByLabel("a")
+	if !res.Out[a.ID].Get(1) {
+		t.Error("fallback dense solve produced a wrong solution")
+	}
+}
+
+// TestSparseCancellationDiscards checks the cancellation contract on
+// the sparse path: a cancelled solve is marked partial, is not kept as
+// a baseline, and the next solve runs in full and lands on the exact
+// fixpoint.
+func TestSparseCancellationDiscards(t *testing.T) {
+	g := progen.Generate(progen.Params{Seed: 3, Stmts: 80})
+	rng := rand.New(rand.NewSource(3))
+	p := randomGK(g, rng, Forward, 128, 0.1, 0.2)
+
+	s := NewSolver(g, p)
+	s.SetMode(SolveSparse)
+	cancelled := true
+	s.SetCancel(func() bool { return cancelled })
+	res := s.Full()
+	if !res.Stats.Cancelled {
+		t.Fatal("cancel hook ignored by sparse solve")
+	}
+
+	// Un-cancel: the next solve must be full (not incremental reuse
+	// of the partial result) and must match a fresh dense solve.
+	cancelled = false
+	res = s.Resolve(nil)
+	if res.Stats.Cancelled {
+		t.Fatal("re-solve still cancelled")
+	}
+	ref := NewSolver(g, p)
+	ref.SetMode(SolveDense)
+	sameSolution(t, "after cancel", g, ref.Full(), res)
+}
+
+// TestPriorityWorklistOrder pins the dense engine's pass accounting: a
+// straight-line graph converges in one sweep (Passes == 1), and a loop
+// needs at most one extra confirmation sweep.
+func TestPriorityWorklistOrder(t *testing.T) {
+	line := parser.MustParseCFG(`
+node a {}
+node b {}
+node c {}
+edge s a
+edge a b
+edge b c
+edge c e
+`)
+	rng := rand.New(rand.NewSource(11))
+	p := randomGK(line, rng, Forward, 64, 0.2, 0.2)
+	s := NewSolver(line, p)
+	s.SetMode(SolveDense)
+	res := s.Full()
+	if res.Stats.Passes != 1 {
+		t.Errorf("straight-line convergence took %d passes, want 1", res.Stats.Passes)
+	}
+	if res.Stats.MaxWorklistDepth != line.NumNodes() {
+		t.Errorf("max depth = %d, want %d (full seed)", res.Stats.MaxWorklistDepth, line.NumNodes())
+	}
+
+	loop := parser.MustParseCFG(`
+node pre {}
+node h {}
+node b {}
+node x {}
+edge s pre
+edge pre h
+edge h b
+edge b h
+edge h x
+edge x e
+`)
+	pl := randomGK(loop, rng, Forward, 64, 0.2, 0.2)
+	sl := NewSolver(loop, pl)
+	sl.SetMode(SolveDense)
+	resl := sl.Full()
+	if resl.Stats.Passes < 1 || resl.Stats.Passes > 3 {
+		t.Errorf("single natural loop took %d passes", resl.Stats.Passes)
+	}
+}

@@ -50,11 +50,15 @@ type SolverMetrics struct {
 	solves            atomic.Int64
 	fullSolves        atomic.Int64
 	incrementalSolves atomic.Int64
+	sparseSolves      atomic.Int64
+	denseSolves       atomic.Int64
 	cacheHits         atomic.Int64
 	cancelled         atomic.Int64
 
 	nodeVisits atomic.Int64
 	pushes     atomic.Int64
+	passes     atomic.Int64
+	maxDepth   atomic.Int64
 	seeded     atomic.Int64
 	seedable   atomic.Int64
 	vecOps     atomic.Int64
@@ -62,15 +66,40 @@ type SolverMetrics struct {
 	slotUpdates atomic.Int64
 }
 
+// SolveCost carries the work counters of one completed fixpoint solve
+// into RecordSolve.
+type SolveCost struct {
+	// Visits counts block transfer evaluations (dense) or per-bit
+	// region node visits (sparse); Pushes worklist insertions.
+	Visits, Pushes int
+	// Passes is the number of priority-order sweeps the worklist
+	// needed to converge (1 on acyclic and most structured graphs);
+	// MaxWorklistDepth the deepest the worklist ever got.
+	Passes, MaxWorklistDepth int
+	// Seeded/Seedable feed the incremental-reuse accounting: the
+	// nodes placed on the initial worklist against the nodes the
+	// solve could have seeded. Sparse solves report 0/0 — they seed
+	// def/use frontiers, not node regions, so they stand outside the
+	// dense reuse ratio.
+	Seeded, Seedable int
+	// VecOps counts bulk bit-vector operations.
+	VecOps int
+	// Sparse classifies the solve path taken (per-pattern frontier
+	// propagation vs dense whole-universe iteration).
+	Sparse bool
+	// Cancelled marks a watchdog-interrupted solve whose partial
+	// result was discarded.
+	Cancelled bool
+}
+
 // RecordSolve accounts one block-level fixpoint solve.
 //
-// seeded is the number of nodes placed on the initial worklist and
-// seedable the number of nodes the solve could have seeded (the whole
-// graph); their accumulated ratio is the incremental-reuse hit rate:
-// a full solve seeds everything (no reuse), an incremental solve seeds
-// only the affected region (the rest of the previous solution was
-// reused verbatim).
-func (m *SolverMetrics) RecordSolve(kind SolveKind, visits, pushes, seeded, seedable, vecOps int, cancelled bool) {
+// Seeded/Seedable accumulate into the incremental-reuse hit rate: a
+// full dense solve seeds everything (no reuse), an incremental solve
+// seeds only the affected region (the rest of the previous solution
+// was reused verbatim). The sparse/dense classification is recorded
+// independently of the full/incremental one.
+func (m *SolverMetrics) RecordSolve(kind SolveKind, c SolveCost) {
 	if m == nil {
 		return
 	}
@@ -80,14 +109,31 @@ func (m *SolverMetrics) RecordSolve(kind SolveKind, visits, pushes, seeded, seed
 	} else {
 		m.fullSolves.Add(1)
 	}
-	if cancelled {
+	if c.Sparse {
+		m.sparseSolves.Add(1)
+	} else {
+		m.denseSolves.Add(1)
+	}
+	if c.Cancelled {
 		m.cancelled.Add(1)
 	}
-	m.nodeVisits.Add(int64(visits))
-	m.pushes.Add(int64(pushes))
-	m.seeded.Add(int64(seeded))
-	m.seedable.Add(int64(seedable))
-	m.vecOps.Add(int64(vecOps))
+	m.nodeVisits.Add(int64(c.Visits))
+	m.pushes.Add(int64(c.Pushes))
+	m.passes.Add(int64(c.Passes))
+	maxUpdate(&m.maxDepth, int64(c.MaxWorklistDepth))
+	m.seeded.Add(int64(c.Seeded))
+	m.seedable.Add(int64(c.Seedable))
+	m.vecOps.Add(int64(c.VecOps))
+}
+
+// maxUpdate raises an atomic counter to v if v is larger.
+func maxUpdate(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // RecordCacheHit accounts a solve that was answered entirely from the
@@ -109,6 +155,7 @@ func (m *SolverMetrics) RecordSlotSolve(slotUpdates, pushes int, cancelled bool)
 	}
 	m.solves.Add(1)
 	m.fullSolves.Add(1)
+	m.denseSolves.Add(1)
 	if cancelled {
 		m.cancelled.Add(1)
 	}
@@ -125,10 +172,14 @@ func (m *SolverMetrics) Snapshot() SolverSnapshot {
 		Solves:            m.solves.Load(),
 		FullSolves:        m.fullSolves.Load(),
 		IncrementalSolves: m.incrementalSolves.Load(),
+		SparseSolves:      m.sparseSolves.Load(),
+		DenseSolves:       m.denseSolves.Load(),
 		CacheHits:         m.cacheHits.Load(),
 		CancelledSolves:   m.cancelled.Load(),
 		NodeVisits:        m.nodeVisits.Load(),
 		WorklistPushes:    m.pushes.Load(),
+		Passes:            m.passes.Load(),
+		MaxWorklistDepth:  m.maxDepth.Load(),
 		SeededNodes:       m.seeded.Load(),
 		SeedableNodes:     m.seedable.Load(),
 		VectorOps:         m.vecOps.Load(),
@@ -155,17 +206,31 @@ type SolverSnapshot struct {
 	CacheHits         int64 `json:"cache_hits"`
 	CancelledSolves   int64 `json:"cancelled_solves"`
 
+	// SparseSolves and DenseSolves classify each recorded solve by
+	// the path taken: per-pattern frontier propagation vs dense
+	// whole-universe iteration. In auto mode their ratio shows what
+	// the density/reducibility heuristic actually chose.
+	SparseSolves int64 `json:"sparse_solves"`
+	DenseSolves  int64 `json:"dense_solves"`
+
 	// NodeVisits counts block transfer evaluations, WorklistPushes
-	// worklist insertions (seeds plus requeues). SeededNodes /
-	// SeedableNodes accumulate each solve's initial worklist against
-	// the graph size; ReuseRate = 1 - seeded/seedable is the fraction
-	// of node solutions carried over unrecomputed — 0 for a run of
-	// full solves, approaching 1 when incremental re-seeding pays.
-	NodeVisits     int64   `json:"node_visits"`
-	WorklistPushes int64   `json:"worklist_pushes"`
-	SeededNodes    int64   `json:"seeded_nodes"`
-	SeedableNodes  int64   `json:"seedable_nodes"`
-	ReuseRate      float64 `json:"reuse_rate"`
+	// worklist insertions (seeds plus requeues). Passes accumulates
+	// the priority worklist's sweep counts (a sweep is one
+	// monotone front through the solve order; RPO keeps this at
+	// O(loop nesting) on reducible graphs), and MaxWorklistDepth is
+	// the deepest any solve's worklist got — together they attribute
+	// RPO-vs-FIFO ordering gains. SeededNodes / SeedableNodes
+	// accumulate each solve's initial worklist against the graph
+	// size; ReuseRate = 1 - seeded/seedable is the fraction of node
+	// solutions carried over unrecomputed — 0 for a run of full
+	// solves, approaching 1 when incremental re-seeding pays.
+	NodeVisits       int64   `json:"node_visits"`
+	WorklistPushes   int64   `json:"worklist_pushes"`
+	Passes           int64   `json:"passes"`
+	MaxWorklistDepth int64   `json:"max_worklist_depth"`
+	SeededNodes      int64   `json:"seeded_nodes"`
+	SeedableNodes    int64   `json:"seedable_nodes"`
+	ReuseRate        float64 `json:"reuse_rate"`
 
 	// VectorOps counts bulk bit-vector operations (meets, transfer
 	// copies, change tests) performed by the block-level solver.

@@ -21,7 +21,7 @@ func TestNilSafety(t *testing.T) {
 	}
 
 	var m *SolverMetrics
-	m.RecordSolve(SolveFull, 1, 2, 3, 4, 5, false)
+	m.RecordSolve(SolveFull, SolveCost{Visits: 1, Pushes: 2, Seeded: 3, Seedable: 4, VecOps: 5})
 	m.RecordCacheHit()
 	m.RecordSlotSolve(1, 2, true)
 	if got := m.Snapshot(); got != (SolverSnapshot{}) {
@@ -41,8 +41,8 @@ func TestSolverMetricsAccounting(t *testing.T) {
 	var m SolverMetrics
 	// One full solve over 10 nodes, then an incremental one seeding 2
 	// of 10, then a cache hit.
-	m.RecordSolve(SolveFull, 10, 12, 10, 10, 30, false)
-	m.RecordSolve(SolveIncremental, 3, 3, 2, 10, 9, false)
+	m.RecordSolve(SolveFull, SolveCost{Visits: 10, Pushes: 12, Passes: 2, MaxWorklistDepth: 10, Seeded: 10, Seedable: 10, VecOps: 30})
+	m.RecordSolve(SolveIncremental, SolveCost{Visits: 3, Pushes: 3, Passes: 1, MaxWorklistDepth: 3, Seeded: 2, Seedable: 10, VecOps: 9, Sparse: true})
 	m.RecordCacheHit()
 
 	s := m.Snapshot()
@@ -51,6 +51,12 @@ func TestSolverMetricsAccounting(t *testing.T) {
 	}
 	if s.NodeVisits != 13 || s.WorklistPushes != 15 || s.VectorOps != 39 {
 		t.Errorf("work counters wrong: %+v", s)
+	}
+	if s.SparseSolves != 1 || s.DenseSolves != 1 {
+		t.Errorf("sparse/dense split wrong: %+v", s)
+	}
+	if s.Passes != 3 || s.MaxWorklistDepth != 10 {
+		t.Errorf("pass/depth counters wrong: %+v", s)
 	}
 	// 12 of 20 seedable nodes seeded -> reuse rate 0.4.
 	if s.SeededNodes != 12 || s.SeedableNodes != 20 {
@@ -63,7 +69,7 @@ func TestSolverMetricsAccounting(t *testing.T) {
 
 func TestSolverMetricsCancelled(t *testing.T) {
 	var m SolverMetrics
-	m.RecordSolve(SolveFull, 5, 5, 5, 5, 0, true)
+	m.RecordSolve(SolveFull, SolveCost{Visits: 5, Pushes: 5, Seeded: 5, Seedable: 5, Cancelled: true})
 	m.RecordSlotSolve(100, 40, true)
 	s := m.Snapshot()
 	if s.CancelledSolves != 2 {
@@ -155,7 +161,7 @@ func TestCollectorConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				c.DelayMetrics().RecordSolve(SolveIncremental, 1, 1, 1, 2, 1, false)
+				c.DelayMetrics().RecordSolve(SolveIncremental, SolveCost{Visits: 1, Pushes: 1, Seeded: 1, Seedable: 2, VecOps: 1})
 				c.DeadMetrics().RecordCacheHit()
 				c.FaintMetrics().RecordSlotSolve(3, 1, false)
 				c.AddArena(0, 8, 4)
@@ -180,8 +186,8 @@ func TestCollectorConcurrent(t *testing.T) {
 // round-trips losslessly — the contract behind -metrics-json.
 func TestTelemetryJSONRoundTrip(t *testing.T) {
 	c := NewCollector(true)
-	c.DelayMetrics().RecordSolve(SolveFull, 10, 12, 10, 10, 33, false)
-	c.DelayMetrics().RecordSolve(SolveIncremental, 2, 2, 1, 10, 6, false)
+	c.DelayMetrics().RecordSolve(SolveFull, SolveCost{Visits: 10, Pushes: 12, Passes: 1, MaxWorklistDepth: 10, Seeded: 10, Seedable: 10, VecOps: 33})
+	c.DelayMetrics().RecordSolve(SolveIncremental, SolveCost{Visits: 2, Pushes: 2, Passes: 1, MaxWorklistDepth: 2, Seeded: 1, Seedable: 10, VecOps: 6})
 	c.DeadMetrics().RecordCacheHit()
 	c.FaintMetrics().RecordSlotSolve(50, 20, false)
 	c.AddArena(2, 16384, 900)
