@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server docs-check ci
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server chaos-smoke docs-check ci
 
 all: build
 
@@ -56,6 +56,15 @@ smoke-server:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/pdced
 	$(GO) test -race -count=1 -run 'TestCacheHitByteIdentical|TestQueueSaturation|TestGracefulDrain|TestPanic500NeverPoisonsCache' ./internal/server
 
+# Chaos smoke: one fixed-seed schedule of the cluster chaos harness
+# under the race detector — replica crashes with torn WAL tails,
+# interrupted drains, transport faults, and solver stalls against a
+# three-replica in-process cluster, asserting no acked job is lost, no
+# result diverges from a fault-free reference, and no goroutine leaks.
+# (The full randomized sweep is TestChaosRandomized in ./internal/chaos.)
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke' ./internal/chaos
+
 # Docs drift guard: every query parameter the server parses and every
 # field /metrics emits must be documented in docs/API.md.
 docs-check:
@@ -65,6 +74,6 @@ docs-check:
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the solver-engine
-# smoke, the containment fuzz smoke, the telemetry and serving smokes,
-# and the docs drift guard.
-ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server docs-check
+# smoke, the containment fuzz smoke, the telemetry, serving, and chaos
+# smokes, and the docs drift guard.
+ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server chaos-smoke docs-check

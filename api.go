@@ -1,6 +1,7 @@
 package pdce
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"pdce/internal/obs"
@@ -160,8 +161,55 @@ type ServerMetrics struct {
 	Server ServerCounters `json:"server"`
 	Cache  CacheMetrics   `json:"cache"`
 	Queue  QueueMetrics   `json:"queue"`
+	// JobQueue is the durable async queue's section, absent when the
+	// server runs without a queue directory.
+	JobQueue *obs.QueueSnapshot `json:"job_queue,omitempty"`
 	// UptimeMS is the wall time since the server was constructed.
 	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// Async job states reported by POST /optimize/submit and GET
+// /optimize/result/{id}. A job moves queued → running → done, taking
+// the failed state only after exhausting the server's retry budget
+// (poisoned — parked for operator triage, it will not retry again).
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// SubmitResponse is the JSON body of POST /optimize/submit. A 202
+// means the submission was durably logged (fsync'd) before the
+// response was written: the job survives a server crash. A 200 with
+// Cached true means the result already existed and no job was queued.
+type SubmitResponse struct {
+	// ID is the job identifier — the program's content address
+	// (Program.CacheKey) — to poll at GET /optimize/result/{id}.
+	ID string `json:"id"`
+	// State is the job's state at submission time (JobQueued for a
+	// fresh job; a duplicate reports the existing job's state).
+	State string `json:"state"`
+	// Cached is true when the result was already in the cache and the
+	// submission short-circuited to done. Duplicate is true when an
+	// identical job was already queued or finished; the submission
+	// collapsed onto it.
+	Cached    bool `json:"cached,omitempty"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// JobResult is the JSON body of GET /optimize/result/{id}.
+type JobResult struct {
+	ID string `json:"id"`
+	// State is JobQueued, JobRunning, JobDone, or JobFailed.
+	State string `json:"state"`
+	// Attempts counts execution attempts so far; Error is the last
+	// attempt's failure (set for failed jobs and between retries).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Result is the OptimizeResponse body for a done job, byte-identical
+	// to what a synchronous POST /optimize of the same program returns.
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // HealthResponse is the JSON body of GET /healthz: status "ok" (200)

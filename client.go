@@ -134,6 +134,108 @@ func (c *Client) OptimizeBatch(ctx context.Context, breq BatchOptimizeRequest) (
 	return &out, nil
 }
 
+// Submit enqueues one program on the server's durable async queue
+// (POST /optimize/submit) and returns the submission receipt. A 202
+// receipt means the job is durably logged server-side: it survives a
+// server crash and can be polled — across restarts — at Result with
+// the receipt's ID. Explain is rejected by the server on async
+// submissions.
+func (c *Client) Submit(ctx context.Context, name, source string, o RequestOptions) (*SubmitResponse, error) {
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	q.Set("mode", o.Mode.String())
+	if o.MaxRounds > 0 {
+		q.Set("max_rounds", strconv.Itoa(o.MaxRounds))
+	}
+	if o.Telemetry {
+		q.Set("telemetry", "1")
+	}
+	if o.Trace {
+		q.Set("trace", "1")
+	}
+	if o.Lang != "" {
+		q.Set("lang", o.Lang)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/optimize/submit?"+q.Encode(), strings.NewReader(source))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeServerError(resp)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdced: decoding submit response: %w", err)
+	}
+	return &out, nil
+}
+
+// Result fetches one async job's state (GET /optimize/result/{id}).
+// With ack true a terminal job is acknowledged — the server may then
+// forget it, so ack only after the result is safely consumed.
+func (c *Client) Result(ctx context.Context, id string, ack bool) (*JobResult, error) {
+	u := c.base + "/optimize/result/" + url.PathEscape(id)
+	if ack {
+		u += "?ack=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+	var out JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdced: decoding job result: %w", err)
+	}
+	return &out, nil
+}
+
+// Poll polls Result every interval until the job reaches a terminal
+// state (done or failed) or ctx expires. Transport failures and 5xx
+// answers do not abort the poll — the server may be mid-restart, and a
+// durably-logged job will be there when it returns — so the only error
+// Poll returns of its own accord is ctx's.
+func (c *Client) Poll(ctx context.Context, id string, interval time.Duration) (*JobResult, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		res, err := c.Result(ctx, id, false)
+		if err == nil && (res.State == JobDone || res.State == JobFailed) {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			if err == nil {
+				err = ctx.Err()
+			}
+			return nil, err
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // Health probes GET /healthz and returns the reported status ("ok" or
 // "draining"). A draining server reports its status without error; a
 // transport failure returns one. Any other non-2xx answer — say a

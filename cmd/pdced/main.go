@@ -10,10 +10,12 @@
 //
 // Endpoints:
 //
-//	POST /optimize        optimize one program (body = source text)
-//	POST /optimize/batch  optimize many programs (JSON body)
-//	GET  /healthz         liveness (green even while load shedding)
-//	GET  /metrics         cache, queue, and latency counters
+//	POST /optimize             optimize one program (body = source text)
+//	POST /optimize/batch       optimize many programs (JSON body)
+//	POST /optimize/submit      enqueue one program durably (needs -queue-dir)
+//	GET  /optimize/result/{id} poll an async job
+//	GET  /healthz              liveness (green even while load shedding)
+//	GET  /metrics              cache, queue, and latency counters
 //
 // Examples:
 //
@@ -53,6 +55,9 @@ var (
 	reproDir     = flag.String("repro-dir", "", "directory for repro bundles of contained optimizer panics")
 	batchWorkers = flag.Int("workers", 0, "worker pool size for /optimize/batch (0 = max-inflight)")
 	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful drain waits for in-flight requests")
+	queueDir     = flag.String("queue-dir", "", "directory for the durable async job queue's write-ahead log (empty = async endpoints disabled)")
+	queueRetries = flag.Int("queue-retries", 0, "attempts per async job before it is poisoned (0 = 3)")
+	queueWorkers = flag.Int("queue-workers", 0, "worker pool size for the async queue (0 = 2)")
 )
 
 func main() {
@@ -80,6 +85,9 @@ func configFromFlags() server.Config {
 		RoundBudget:     *roundBudget,
 		ReproDir:        *reproDir,
 		BatchWorkers:    *batchWorkers,
+		QueueDir:        *queueDir,
+		QueueRetries:    *queueRetries,
+		QueueWorkers:    *queueWorkers,
 	}
 }
 

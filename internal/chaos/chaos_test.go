@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSmoke is the fixed-seed schedule wired into `make
+// chaos-smoke` (and `make ci`): one reproducible 40-round run, cheap
+// enough for every CI pass.
+func TestChaosSmoke(t *testing.T) {
+	Run(t, Config{Seed: 7, Replicas: 3, Rounds: 40})
+}
+
+// TestChaosRandomized is the acceptance sweep: 200 schedule rounds
+// across distinct seeds, each round a submission burst plus a fault
+// (crash with torn WAL tail, interrupted drain, transport drops,
+// solver stalls). Every run must end with all acknowledged jobs
+// completed byte-identically and no goroutines leaked.
+func TestChaosRandomized(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			Run(t, Config{Seed: seed, Replicas: 3, Rounds: 50})
+		})
+	}
+}

@@ -61,6 +61,24 @@ const (
 	// request after the hedge delay elapsed without a primary
 	// response. Payload: the hedge replica's base URL (string).
 	ClientHedge Point = "client/hedge"
+	// QueueAppend fires in the durable job queue's write-ahead log
+	// immediately before one encoded record is written. Payload:
+	// *[]byte (the framed record) — a hook that truncates the slice
+	// simulates a torn write reaching only part of the record, and a
+	// hook that panics simulates a crash mid-append.
+	QueueAppend Point = "server/queue-append"
+	// QueueFsync fires before the write-ahead log fsyncs an appended
+	// record. Payload: *error — a hook that stores a non-nil error
+	// simulates the fsync failing, which the queue must surface as a
+	// failed (unacknowledged) submission, never a silently volatile
+	// one.
+	QueueFsync Point = "server/queue-fsync"
+	// QueueRecover fires during write-ahead log replay for every
+	// record read back, before its checksum is verified. Payload:
+	// *[]byte (the record payload) — a hook that flips bytes simulates
+	// on-disk corruption, which recovery must quarantine while
+	// continuing to replay the records after it.
+	QueueRecover Point = "server/queue-recover"
 )
 
 // Hook receives every fired point. It may panic (the containment layer

@@ -1,0 +1,571 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pdce"
+	"pdce/internal/obs"
+)
+
+// Queue is the durable async job queue behind POST /optimize/submit: a
+// bounded worker pool over a write-ahead log (wal.go). Every accepted
+// submission is logged and fsync'd before the 202 goes out, so an
+// acknowledged job survives process crash and redeploy; on boot the
+// log is replayed, in-flight jobs are re-enqueued, and the log is
+// compacted.
+//
+// Jobs are keyed by the program's content address (Program.CacheKey),
+// which Theorem 3.7 determinism turns into exactly-once-visible
+// semantics over at-least-once execution: a duplicate submission
+// collapses onto the existing job, a post-crash replay of a job whose
+// result already reached the cache is a cache hit, and a replay racing
+// an identical interactive request joins its singleflight — whatever
+// path a job takes, exactly one result body is ever visible for its
+// key.
+//
+// Failed attempts (contained panics, results with no usable program)
+// retry with capped exponential backoff; a job exhausting the retry
+// budget is poisoned — parked in the failed state for operators to
+// triage via GET /optimize/result/{id} — instead of churning forever.
+type Queue struct {
+	srv   *Server
+	wal   *WAL
+	stats *obs.QueueStats
+
+	retries    int
+	workers    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	deadline   time.Duration
+
+	submitMu sync.Mutex // serializes Submit's check-log-admit sequence
+
+	mu       sync.Mutex
+	jobs     map[string]*qjob
+	ready    []string // ids runnable now or after their backoff
+	draining bool
+	killed   bool
+
+	notify chan struct{}
+	drainc chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	drainOnce sync.Once
+}
+
+// qjob is one queued optimization.
+type qjob struct {
+	id     string
+	name   string
+	source string
+	lang   string
+
+	mode      string
+	maxRounds int
+	telemetry bool
+	trace     bool
+
+	state     string // pdce.JobQueued/JobRunning/JobDone/JobFailed
+	attempts  int
+	lastErr   string
+	body      []byte
+	degraded  bool
+	submitted time.Time
+	notBefore time.Time
+	replayed  bool
+}
+
+// walFile is the log's name inside Config.QueueDir.
+const walFile = "queue.wal"
+
+// newQueue opens (and replays) the log under cfg.QueueDir and starts
+// the workers. Called by New when a queue directory is configured.
+func newQueue(srv *Server, cfg Config) (*Queue, error) {
+	if err := os.MkdirAll(cfg.QueueDir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue dir: %w", err)
+	}
+	path := filepath.Join(cfg.QueueDir, walFile)
+	wal, recs, rst, err := OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		srv:        srv,
+		wal:        wal,
+		stats:      &obs.QueueStats{},
+		retries:    cfg.QueueRetries,
+		workers:    cfg.QueueWorkers,
+		backoff:    cfg.QueueBackoff,
+		maxBackoff: cfg.QueueMaxBackoff,
+		deadline:   cfg.DefaultDeadline,
+		jobs:       make(map[string]*qjob),
+		notify:     make(chan struct{}, 64),
+		drainc:     make(chan struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
+	}
+	q.fold(recs)
+	if rst.TornBytes > 0 {
+		q.stats.AddTornRecords(1)
+	}
+	q.stats.AddCorruptRecords(rst.CorruptRecords)
+
+	// Compact: the replayed state collapses to at most two records per
+	// live job, and acknowledged jobs disappear entirely.
+	if err := wal.Close(); err != nil {
+		cancel()
+		return nil, err
+	}
+	if q.wal, err = rewriteWAL(path, q.compactRecords()); err != nil {
+		cancel()
+		return nil, err
+	}
+
+	for id, j := range q.jobs {
+		if j.state == pdce.JobQueued {
+			if j.replayed {
+				q.stats.AddReplayedJobs(1)
+			}
+			q.ready = append(q.ready, id)
+		}
+	}
+	for i := 0; i < q.workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// fold rebuilds the job table from replayed records, in log order.
+func (q *Queue) fold(recs []walRecord) {
+	now := time.Now()
+	for _, rec := range recs {
+		switch rec.Op {
+		case "submit":
+			if _, ok := q.jobs[rec.ID]; ok {
+				continue
+			}
+			q.jobs[rec.ID] = &qjob{
+				id: rec.ID, name: rec.Name, source: rec.Source, lang: rec.Lang,
+				mode: rec.Mode, maxRounds: rec.MaxRounds,
+				telemetry: rec.Telemetry, trace: rec.Trace,
+				state: pdce.JobQueued, submitted: now,
+			}
+		case "start":
+			if j, ok := q.jobs[rec.ID]; ok && j.state == pdce.JobQueued {
+				j.replayed = true // it was in flight when the process died
+			}
+		case "done":
+			if j, ok := q.jobs[rec.ID]; ok {
+				j.state = pdce.JobDone
+				j.body = rec.Body
+				j.degraded = rec.Degraded
+			}
+		case "fail":
+			if j, ok := q.jobs[rec.ID]; ok && j.state == pdce.JobQueued {
+				j.attempts = rec.Attempts
+				j.lastErr = rec.Error
+				j.replayed = true
+				if j.attempts >= q.retries {
+					j.state = pdce.JobFailed // poison survives restarts
+				}
+			}
+		case "ack":
+			delete(q.jobs, rec.ID)
+		}
+	}
+}
+
+// compactRecords renders the current job table as a minimal log.
+func (q *Queue) compactRecords() []walRecord {
+	recs := make([]walRecord, 0, 2*len(q.jobs))
+	for _, j := range q.jobs {
+		recs = append(recs, walRecord{
+			Op: "submit", ID: j.id, Name: j.name, Source: j.source, Lang: j.lang,
+			Mode: j.mode, MaxRounds: j.maxRounds, Telemetry: j.telemetry, Trace: j.trace,
+		})
+		switch j.state {
+		case pdce.JobDone:
+			recs = append(recs, walRecord{Op: "done", ID: j.id, Body: j.body, Degraded: j.degraded})
+		case pdce.JobFailed:
+			recs = append(recs, walRecord{Op: "fail", ID: j.id, Attempts: j.attempts, Error: j.lastErr})
+		default:
+			if j.attempts > 0 {
+				recs = append(recs, walRecord{Op: "fail", ID: j.id, Attempts: j.attempts, Error: j.lastErr})
+			}
+		}
+	}
+	return recs
+}
+
+// Submit durably enqueues one job and returns its state. A job with
+// the same content address already known — queued, running, done, or
+// poisoned — is returned as-is (dup true) without touching the log: at
+// the queue's level, resubmission is idempotent. The submit record is
+// fsync'd before Submit returns; an append or fsync failure is
+// returned as an error and the job is not accepted (the caller must
+// not acknowledge it).
+func (q *Queue) Submit(id, name, source, lang string, o pdce.Options) (state string, dup bool, err error) {
+	// Submissions are serialized by submitMu so the job table only ever
+	// holds durably-logged jobs: a concurrent duplicate must not be
+	// acknowledged off the back of a first submission whose fsync is
+	// still in flight (and might fail).
+	q.submitMu.Lock()
+	defer q.submitMu.Unlock()
+
+	q.mu.Lock()
+	if q.draining || q.killed {
+		q.mu.Unlock()
+		return "", false, errors.New("queue is draining")
+	}
+	if j, ok := q.jobs[id]; ok {
+		st := j.state
+		q.mu.Unlock()
+		q.stats.AddDupSubmit()
+		return st, true, nil
+	}
+	q.mu.Unlock()
+
+	j := &qjob{
+		id: id, name: name, source: source, lang: lang,
+		mode: o.Mode.String(), maxRounds: o.MaxRounds,
+		telemetry: o.Telemetry, trace: o.Trace,
+		state: pdce.JobQueued, submitted: time.Now(),
+	}
+	rec := walRecord{
+		Op: "submit", ID: id, Name: name, Source: source, Lang: lang,
+		Mode: j.mode, MaxRounds: j.maxRounds, Telemetry: j.telemetry, Trace: j.trace,
+	}
+	if err := q.wal.Append(rec, true); err != nil {
+		// Durability could not be promised: the job was never admitted,
+		// so a retried submission starts clean.
+		q.stats.AddFsyncFailure()
+		return "", false, err
+	}
+	q.mu.Lock()
+	q.jobs[id] = j
+	q.ready = append(q.ready, id)
+	q.mu.Unlock()
+	q.stats.AddSubmit()
+	q.wakeOne()
+	return pdce.JobQueued, false, nil
+}
+
+// Result reports one job's state, embedding the stored response bytes
+// for terminal jobs. With ack true a terminal job is acknowledged:
+// logged, dropped from the table, and freed at the next compaction
+// (its result stays reachable through the content-addressed cache as
+// long as that retains it).
+func (q *Queue) Result(id string, ack bool) (pdce.JobResult, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return pdce.JobResult{}, false
+	}
+	res := pdce.JobResult{
+		ID:       id,
+		State:    j.state,
+		Attempts: j.attempts,
+		Error:    j.lastErr,
+	}
+	if j.state == pdce.JobDone {
+		res.Result = json.RawMessage(j.body)
+		res.Error = "" // a done job's transient attempt errors are history
+	}
+	terminal := j.state == pdce.JobDone || j.state == pdce.JobFailed
+	if ack && terminal {
+		delete(q.jobs, id)
+	}
+	q.mu.Unlock()
+	if ack && terminal {
+		q.stats.AddAck()
+		q.wal.Append(walRecord{Op: "ack", ID: id}, false)
+	}
+	return res, true
+}
+
+// Drain stops dispatching new jobs, waits (bounded by ctx) for running
+// jobs to finish, and closes the log cleanly. Jobs still queued stay
+// in the log and resume on the next boot. On ctx expiry the remaining
+// workers are killed; their in-flight jobs replay after restart.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+	q.drainOnce.Do(func() { close(q.drainc) })
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return q.wal.Close()
+	case <-ctx.Done():
+		q.Kill()
+		return fmt.Errorf("pdced: queue drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Kill is the crash-shaped stop: running jobs are cancelled, nothing
+// further is logged, and the log file is abandoned without a final
+// sync — exactly what a SIGKILL would leave behind. The chaos harness
+// pairs it with truncating the file to its synced prefix.
+func (q *Queue) Kill() {
+	q.mu.Lock()
+	q.killed = true
+	q.mu.Unlock()
+	q.cancel()
+	q.wg.Wait()
+	q.wal.abandon()
+}
+
+// WALSyncedSize exposes the durable log prefix for crash simulation.
+func (q *Queue) WALSyncedSize() int64 { return q.wal.SyncedSize() }
+
+// WALPath returns the log file's location.
+func (q *Queue) WALPath() string { return q.wal.path }
+
+// Stats exposes the queue counters (tests).
+func (q *Queue) Stats() *obs.QueueStats { return q.stats }
+
+// Snapshot freezes the queue's /metrics section.
+func (q *Queue) Snapshot() obs.QueueSnapshot {
+	g := obs.QueueGauges{
+		WALRecords: q.wal.Records(),
+		WALBytes:   q.wal.Size(),
+	}
+	now := time.Now()
+	var oldest time.Time
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		switch j.state {
+		case pdce.JobQueued:
+			g.Depth++
+		case pdce.JobRunning:
+			g.Running++
+		case pdce.JobDone:
+			g.Done++
+		case pdce.JobFailed:
+			g.Failed++
+		}
+		if j.state == pdce.JobQueued || j.state == pdce.JobRunning {
+			if oldest.IsZero() || j.submitted.Before(oldest) {
+				oldest = j.submitted
+			}
+		}
+	}
+	q.mu.Unlock()
+	if !oldest.IsZero() {
+		g.OldestAgeMS = now.Sub(oldest).Milliseconds()
+	}
+	return q.stats.Snapshot(g)
+}
+
+// --- worker pool ------------------------------------------------------
+
+func (q *Queue) wakeOne() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// worker pulls ready jobs until drain or kill.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		j, wait, ok := q.next()
+		if !ok {
+			return
+		}
+		if j == nil {
+			t := time.NewTimer(wait)
+			select {
+			case <-q.notify:
+				t.Stop()
+			case <-t.C:
+			case <-q.drainc:
+				t.Stop()
+				return
+			case <-q.ctx.Done():
+				t.Stop()
+				return
+			}
+			continue
+		}
+		q.run(j)
+	}
+}
+
+// next claims the first runnable job. With none runnable it returns
+// the wait until the earliest backoff expiry (or a long poll when the
+// queue is idle); ok false means the worker should exit.
+func (q *Queue) next() (j *qjob, wait time.Duration, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining || q.killed {
+		return nil, 0, false
+	}
+	now := time.Now()
+	wait = time.Hour
+	kept := q.ready[:0]
+	for i, id := range q.ready {
+		job, live := q.jobs[id]
+		if !live || job.state != pdce.JobQueued {
+			continue // acked or superseded while waiting: drop the entry
+		}
+		if j == nil && job.notBefore.Sub(now) <= 0 {
+			job.state = pdce.JobRunning
+			j = job
+			continue
+		}
+		if left := job.notBefore.Sub(now); left > 0 && left < wait {
+			wait = left
+		}
+		kept = append(kept, q.ready[i])
+	}
+	q.ready = kept
+	return j, wait, true
+}
+
+// run executes one claimed job and records its outcome.
+func (q *Queue) run(j *qjob) {
+	q.wal.Append(walRecord{Op: "start", ID: j.id, Attempts: j.attempts + 1}, false)
+
+	body, degraded, runErr := q.execute(j)
+	if q.ctx.Err() != nil {
+		// Killed mid-run: no outcome may be logged — the job replays
+		// after restart, and determinism makes the replay harmless.
+		return
+	}
+	if runErr == nil {
+		q.wal.Append(walRecord{Op: "done", ID: j.id, Body: body, Degraded: degraded}, true)
+		q.mu.Lock()
+		j.state = pdce.JobDone
+		j.body = body
+		j.degraded = degraded
+		// Counters move before the state is visible: a poller that sees
+		// "done" must also see the completion counted.
+		q.stats.AddCompletion()
+		if degraded {
+			q.stats.AddDegraded()
+		}
+		q.mu.Unlock()
+		return
+	}
+
+	q.mu.Lock()
+	j.attempts++
+	j.lastErr = runErr.Error()
+	attempts := j.attempts
+	poisoned := attempts >= q.retries
+	if poisoned {
+		j.state = pdce.JobFailed
+		q.stats.AddPoisoned()
+	} else {
+		j.state = pdce.JobQueued
+		j.notBefore = time.Now().Add(q.retryDelay(attempts))
+		q.ready = append(q.ready, j.id)
+		q.stats.AddRetry()
+	}
+	q.mu.Unlock()
+	q.wal.Append(walRecord{Op: "fail", ID: j.id, Attempts: attempts, Error: runErr.Error()}, poisoned)
+	if !poisoned {
+		q.wakeOne()
+	}
+}
+
+// retryDelay is the capped exponential backoff before attempt+1.
+func (q *Queue) retryDelay(attempts int) time.Duration {
+	d := q.backoff
+	for i := 1; i < attempts && d < q.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > q.maxBackoff {
+		d = q.maxBackoff
+	}
+	return d
+}
+
+// execute produces the job's serialized response. The result path
+// mirrors the interactive handler: cache first, then the server-wide
+// singleflight (an identical interactive request or a sibling replica
+// of this job computes once), then a contained optimizer run.
+func (q *Queue) execute(j *qjob) (body []byte, degraded bool, err error) {
+	if body, ok := q.srv.cache.Get(j.id); ok {
+		return body, false, nil
+	}
+	leader, call := q.srv.joinFlight(j.id)
+	if !leader {
+		select {
+		case <-call.done:
+		case <-q.ctx.Done():
+			return nil, false, q.ctx.Err()
+		}
+		if body, ok := q.srv.cache.Get(j.id); ok {
+			return body, false, nil
+		}
+		// The leader failed and cached nothing; compute for ourselves.
+	} else {
+		defer q.srv.leaveFlight(j.id, call)
+	}
+
+	prog, perr := parseProgram(j.source, j.name, j.lang)
+	if perr != nil {
+		return nil, false, perr
+	}
+	o := pdce.Options{MaxRounds: j.maxRounds, Telemetry: j.telemetry, Trace: j.trace}
+	if j.mode == "pfe" {
+		o.Mode = pdce.Faint
+	}
+	ctx := q.ctx
+	if q.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.deadline)
+		defer cancel()
+	}
+	o.Context = ctx
+	o.RoundBudget = q.srv.cfg.RoundBudget
+	o.ReproDir = q.srv.cfg.ReproDir
+
+	opt, st, oerr := prog.SafeOptimize(o)
+	resp := q.srv.buildResponse(j.name, j.id, o, opt, st, "")
+	switch {
+	case oerr == nil:
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		q.srv.cache.Put(j.id, b)
+		return b, false, nil
+	default:
+		var pe *pdce.PanicError
+		if errors.As(oerr, &pe) || opt == nil {
+			return nil, false, oerr
+		}
+		// Watchdog or verified-mode degradation: correct but partial.
+		// Terminal for the job (a re-run would hit the same bound), but
+		// marked degraded and never cached.
+		resp.Degraded = true
+		resp.Error = oerr.Error()
+		resp.ErrorKind = errorKind(oerr)
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, true, nil
+	}
+}

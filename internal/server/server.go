@@ -79,6 +79,21 @@ type Config struct {
 	// seconds (default 1).
 	RetryAfter int
 
+	// QueueDir enables the durable async job queue (POST
+	// /optimize/submit): accepted jobs are logged to a write-ahead log
+	// under this directory, fsync'd before the 202, and replayed on
+	// boot, so acknowledged submissions survive crash and redeploy.
+	// Empty disables the async endpoints (they answer 503).
+	QueueDir string
+	// QueueRetries bounds the attempts per job before it is poisoned
+	// (parked in the failed state; default 3). QueueWorkers sizes the
+	// queue's worker pool (default 2). QueueBackoff/QueueMaxBackoff
+	// shape the capped exponential retry delay (defaults 50ms / 2s).
+	QueueRetries    int
+	QueueWorkers    int
+	QueueBackoff    time.Duration
+	QueueMaxBackoff time.Duration
+
 	// RequestHook, when non-nil, runs at the top of every admitted
 	// /optimize request, before the cache is consulted. It is a test
 	// and load-modelling hook — cluster benchmarks install one that
@@ -106,6 +121,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
 	}
+	if c.QueueRetries <= 0 {
+		c.QueueRetries = 3
+	}
+	if c.QueueWorkers <= 0 {
+		c.QueueWorkers = 2
+	}
+	if c.QueueBackoff <= 0 {
+		c.QueueBackoff = 50 * time.Millisecond
+	}
+	if c.QueueMaxBackoff <= 0 {
+		c.QueueMaxBackoff = 2 * time.Second
+	}
 	return c
 }
 
@@ -116,6 +143,7 @@ type Server struct {
 	cache *Cache
 	adm   *Admission
 	stats *obs.ServerStats
+	queue *Queue // nil when Config.QueueDir is empty
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -134,14 +162,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		stats:   &obs.ServerStats{},
 		flight:  make(map[string]*flightCall),
 		started: time.Now(),
-	}, nil
+	}
+	if cfg.QueueDir != "" {
+		if s.queue, err = newQueue(s, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Stats exposes the request counters (tests and cmd/pdced logging).
@@ -154,16 +188,24 @@ func (s *Server) Cache() *Cache { return s.cache }
 // batch.Gate.
 func (s *Server) Admission() *Admission { return s.adm }
 
+// Queue exposes the durable job queue (nil when disabled). Tests and
+// the chaos harness use it for crash simulation and gauge assertions.
+func (s *Server) Queue() *Queue { return s.queue }
+
 // Handler returns the HTTP surface:
 //
-//	POST /optimize        body = program source; see handleOptimize
-//	POST /optimize/batch  body = pdce.BatchOptimizeRequest JSON
-//	GET  /healthz         liveness: "ok", or "draining" with 503
-//	GET  /metrics         pdce.ServerMetrics JSON
+//	POST /optimize             body = program source; see handleOptimize
+//	POST /optimize/batch       body = pdce.BatchOptimizeRequest JSON
+//	POST /optimize/submit      async submission; see handleSubmit
+//	GET  /optimize/result/{id} async job state; see handleResult
+//	GET  /healthz              liveness: "ok", or "draining" with 503
+//	GET  /metrics              pdce.ServerMetrics JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /optimize/batch", s.handleBatch)
+	mux.HandleFunc("POST /optimize/submit", s.handleSubmit)
+	mux.HandleFunc("GET /optimize/result/{id}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -202,7 +244,9 @@ func (s *Server) BeginDrain() {
 
 // Drain begins drain mode and blocks until every in-flight request
 // completed or ctx expired (in which case the remaining count keeps
-// running; the caller decides whether to hard-stop).
+// running; the caller decides whether to hard-stop). With the durable
+// queue enabled, its running jobs are also drained — jobs still
+// queued stay in the write-ahead log and resume on the next boot.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	done := make(chan struct{})
@@ -212,10 +256,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("pdced: drain interrupted: %w", ctx.Err())
 	}
+	if s.queue != nil {
+		return s.queue.Drain(ctx)
+	}
+	return nil
 }
 
 // --- singleflight -----------------------------------------------------
@@ -510,6 +557,113 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// handleSubmit accepts one program for asynchronous optimization.
+// Query parameters match /optimize minus explain (provenance reports
+// are interactive-only). The job ID is the program's content address,
+// so resubmitting the same program is idempotent: a duplicate answers
+// 202 with the existing job's state, and a program whose result is
+// already cached answers 200 with state "done" without queueing
+// anything.
+//
+// Responses: 202 with pdce.SubmitResponse once the submission is
+// durably logged (fsync'd — the 202 is the durability promise), 200
+// for an immediate cache hit, 400 for bad input, 500 when the log
+// cannot be written, 503 when draining or the queue is disabled.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.stats.AddRequest()
+	if s.queue == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "queue-disabled",
+			"async queue is disabled (no -queue-dir)", "")
+		return
+	}
+	if !s.enter() {
+		s.stats.AddShedDraining()
+		s.httpError(w, http.StatusServiceUnavailable, "draining", "server is draining", "")
+		return
+	}
+	defer s.exit()
+	start := time.Now()
+	defer func() { s.stats.RecordLatency(time.Since(start)) }()
+
+	o, explain, perr := optionsFromQuery(r)
+	if perr != "" {
+		s.httpError(w, http.StatusBadRequest, "bad-request", perr, "")
+		return
+	}
+	if explain != "" {
+		s.httpError(w, http.StatusBadRequest, "bad-request",
+			"explain is not supported on async submissions", "")
+		return
+	}
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad-request", "reading body: "+err.Error(), "")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "request"
+	}
+	lang := r.URL.Query().Get("lang")
+	prog, err := parseProgram(string(src), name, lang)
+	if err != nil {
+		s.stats.AddParseFailure()
+		s.httpError(w, http.StatusBadRequest, "parse", err.Error(), "")
+		return
+	}
+
+	key := requestKey(prog, o, "")
+	if _, ok := s.cache.Get(key); ok {
+		// Already computed: answer done without consuming queue space.
+		s.stats.AddCacheHit()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: pdce.JobDone, Cached: true})
+		return
+	}
+
+	state, dup, err := s.queue.Submit(key, prog.Name(), string(src), lang, o)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "queue",
+			"submission not accepted: "+err.Error(), "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: state, Duplicate: dup})
+}
+
+// handleResult reports one async job's state. The ack query parameter
+// (1/true) acknowledges a terminal job: it is dropped from the queue's
+// table and freed at the next log compaction. A job unknown to the
+// queue (acked, or submitted before a cache-purging restart) still
+// answers done when its result is in the content-addressed cache.
+//
+// Responses: 200 with pdce.JobResult, 404 for an unknown ID, 503 when
+// the queue is disabled.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.stats.AddRequest()
+	if s.queue == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "queue-disabled",
+			"async queue is disabled (no -queue-dir)", "")
+		return
+	}
+	id := r.PathValue("id")
+	ackParam := r.URL.Query().Get("ack")
+	ack := ackParam == "1" || ackParam == "true"
+	res, ok := s.queue.Result(id, ack)
+	if !ok {
+		if body, hit := s.cache.Get(id); hit {
+			s.stats.AddCacheHit()
+			res = pdce.JobResult{ID: id, State: pdce.JobDone, Result: body}
+		} else {
+			s.httpError(w, http.StatusNotFound, "not-found", "unknown job id", "")
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
 // handleHealthz is the liveness probe. It stays green under load
 // shedding (a full queue is capacity policy) and turns 503 "draining"
 // once graceful shutdown begins, so load balancers stop routing here.
@@ -539,6 +693,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Draining:    s.Draining(),
 		},
 		UptimeMS: time.Since(s.started).Milliseconds(),
+	}
+	if s.queue != nil {
+		snap := s.queue.Snapshot()
+		m.JobQueue = &snap
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(m)

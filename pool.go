@@ -266,6 +266,29 @@ func (p *Pool) affinityKey(name, source string, o RequestOptions) string {
 	return key
 }
 
+// reqBudget caps the wire requests of one logical call. Retries and
+// hedges draw from the same pool — MaxAttempts bounds failover rounds,
+// but with hedging each round can cost two requests, and the budget is
+// what keeps that amplification bounded cluster-wide.
+type reqBudget struct {
+	mu   sync.Mutex
+	left int
+}
+
+func (b *reqBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left <= 0 {
+		return false
+	}
+	b.left--
+	return true
+}
+
+// errRequestBudget aborts the failover loop once the per-call request
+// budget (RetryPolicy.MaxTotalRequests) is spent.
+var errRequestBudget = errors.New("pdce: per-request budget exhausted")
+
 // Optimize submits one program to the cluster with affinity routing,
 // retry, and (when enabled) hedging. The semantics match
 // Client.Optimize: non-2xx outcomes surface as *ServerError, degraded
@@ -280,6 +303,7 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 	cands := p.candidates(key)
 	home := cands[0]
 	start := time.Now()
+	budget := &reqBudget{left: p.opts.Retry.MaxTotalRequests}
 	var lastErr error
 	for attempt := 0; attempt < p.opts.Retry.MaxAttempts; attempt++ {
 		m, cooldown := p.pick(cands, attempt)
@@ -297,7 +321,7 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 		if err := ctx.Err(); err != nil {
 			return nil, "", err
 		}
-		resp, cs, winner, err := p.attempt(ctx, m, p.hedgeTarget(cands, m), name, source, o)
+		resp, cs, winner, err := p.attempt(ctx, m, p.hedgeTarget(cands, m), budget, name, source, o)
 		if err == nil {
 			p.stats.RecordLatency(time.Since(start))
 			if winner == home {
@@ -306,6 +330,13 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 				p.stats.AddAffinityMiss()
 			}
 			return resp, cs, nil
+		}
+		if errors.Is(err, errRequestBudget) {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, "", fmt.Errorf("pdce: request budget (%d) exhausted: %w",
+				p.opts.Retry.MaxTotalRequests, lastErr)
 		}
 		if ctx.Err() != nil {
 			return nil, "", err
@@ -388,8 +419,14 @@ type attemptResult struct {
 // attempt performs one (possibly hedged) try. Failure side effects —
 // failure counters, ejection, cooldown — are applied here for every
 // failed arm, including a losing hedge; the caller only decides
-// whether the returned error is worth another attempt.
-func (p *Pool) attempt(ctx context.Context, primary, hedge *member, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, *member, error) {
+// whether the returned error is worth another attempt. The primary
+// send and the hedge each draw one request from the budget; a hedge
+// the budget cannot fund is silently skipped, a primary it cannot
+// fund aborts with errRequestBudget.
+func (p *Pool) attempt(ctx context.Context, primary, hedge *member, budget *reqBudget, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, *member, error) {
+	if !budget.take() {
+		return nil, "", primary, errRequestBudget
+	}
 	if hedge == nil {
 		r := p.send(ctx, primary, name, source, o)
 		return r.resp, r.cs, r.m, r.err
@@ -415,6 +452,9 @@ func (p *Pool) attempt(ctx context.Context, primary, hedge *member, name, source
 				return nil, "", r.m, r.err
 			}
 		case <-timer.C:
+			if !budget.take() {
+				continue // the hedge is an optimization; the budget says no
+			}
 			hedged = true
 			faultinject.Fire(faultinject.ClientHedge, hedge.base)
 			p.stats.AddHedge()
@@ -476,7 +516,7 @@ func (p *Pool) readmit(m *member) {
 
 func (p *Pool) probeLoop() {
 	defer p.wg.Done()
-	t := time.NewTicker(p.opts.ProbeInterval)
+	t := time.NewTimer(p.probeDelay())
 	defer t.Stop()
 	for {
 		select {
@@ -484,8 +524,16 @@ func (p *Pool) probeLoop() {
 			return
 		case <-t.C:
 			p.Probe()
+			t.Reset(p.probeDelay())
 		}
 	}
+}
+
+// probeDelay jitters the probe interval uniformly in [0.8, 1.2)× so a
+// fleet of pools started together does not synchronize its health
+// probes into a periodic thundering herd against the replicas.
+func (p *Pool) probeDelay() time.Duration {
+	return time.Duration(float64(p.opts.ProbeInterval) * (0.8 + 0.4*p.jitter.Float64()))
 }
 
 // Probe runs one synchronous health pass over every replica: /healthz
@@ -504,4 +552,113 @@ func (p *Pool) Probe() {
 			p.eject(m)
 		}
 	}
+}
+
+// --- async submission -------------------------------------------------
+
+// Submit enqueues one program on the cluster's durable async queues
+// with affinity routing and retry (no hedging — a submission is one
+// cheap fsync'd append, and racing two replicas would durably enqueue
+// the job twice). It returns the receipt together with the base URL of
+// the replica that accepted it: the queue is per-replica state, so
+// result polls must go back to that replica (PollResult does).
+func (p *Pool) Submit(ctx context.Context, name, source string, o RequestOptions) (*SubmitResponse, string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := p.affinityKey(name, source, o)
+	cands := p.candidates(key)
+	budget := &reqBudget{left: p.opts.Retry.MaxTotalRequests}
+	var lastErr error
+	for attempt := 0; attempt < p.opts.Retry.MaxAttempts; attempt++ {
+		m, cooldown := p.pick(cands, attempt)
+		delay := cooldown
+		if attempt > 0 {
+			if d := p.opts.Retry.delay(attempt, p.jitter.Float64); d > delay {
+				delay = d
+			}
+		}
+		if delay > 0 {
+			if err := p.sleep(ctx, delay); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		if !budget.take() {
+			if lastErr == nil {
+				lastErr = errRequestBudget
+			}
+			return nil, "", fmt.Errorf("pdce: request budget (%d) exhausted: %w",
+				p.opts.Retry.MaxTotalRequests, lastErr)
+		}
+		faultinject.Fire(faultinject.ClientDial, m.base)
+		p.stats.AddAttempt(m.base)
+		resp, err := m.client.Submit(ctx, name, source, o)
+		if err == nil {
+			return resp, m.base, nil
+		}
+		if ctx.Err() == nil {
+			p.applyFailure(m, err)
+		}
+		if ctx.Err() != nil {
+			return nil, "", err
+		}
+		if !classify(err).retry {
+			return nil, "", err
+		}
+		lastErr = err
+		p.stats.AddFailover()
+	}
+	return nil, "", fmt.Errorf("pdce: all %d attempts failed: %w", p.opts.Retry.MaxAttempts, lastErr)
+}
+
+// SubmitStatus is one program's outcome in SubmitAll.
+type SubmitStatus struct {
+	// Name identifies the program; ID is the job to poll (empty when
+	// Err is set); Replica is the accepting replica's base URL; State
+	// is the job's state at submission time.
+	Name    string
+	ID      string
+	Replica string
+	State   string
+	Err     error
+}
+
+// SubmitAll submits a set of programs, each routed by its own content
+// address, and reports per-program receipts. Individual failures do
+// not stop the rest of the batch.
+func (p *Pool) SubmitAll(ctx context.Context, programs []BatchProgram, o RequestOptions) []SubmitStatus {
+	out := make([]SubmitStatus, len(programs))
+	for i, bp := range programs {
+		name := bp.Name
+		if name == "" {
+			name = fmt.Sprintf("program-%d", i)
+		}
+		out[i].Name = name
+		resp, replica, err := p.Submit(ctx, name, bp.Source, o)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].ID = resp.ID
+		out[i].Replica = replica
+		out[i].State = resp.State
+	}
+	return out
+}
+
+// PollResult polls the replica that accepted a submission until the
+// job reaches a terminal state or ctx expires. replica is the base URL
+// returned by Submit; an unknown one is an error (polling a different
+// replica would 404 — queues are per-replica state).
+func (p *Pool) PollResult(ctx context.Context, replica, id string, interval time.Duration) (*JobResult, error) {
+	base := strings.TrimRight(replica, "/")
+	for _, m := range p.members {
+		if m.base == base {
+			return m.client.Poll(ctx, id, interval)
+		}
+	}
+	return nil, fmt.Errorf("pdce: unknown pool replica %q", replica)
 }

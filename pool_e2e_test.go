@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pdce"
 	"pdce/internal/server"
@@ -143,5 +145,113 @@ func TestPoolSurvivesReplicaKill(t *testing.T) {
 	}
 	if m := p.Members(); m[0].Healthy {
 		t.Fatal("killed replica still marked healthy")
+	}
+}
+
+func newQueuedReplica(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(server.Config{QueueDir: t.TempDir(), QueueBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// Async submission through the pool: SubmitAll fans a batch out by
+// affinity, each receipt names the replica that durably owns the job,
+// and PollResult against that replica completes with the same bytes a
+// synchronous call yields. Queues are per-replica state, so polling a
+// replica that never accepted the job must miss.
+func TestPoolSubmitPollAcrossReplicas(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		_, ts := newQueuedReplica(t)
+		urls = append(urls, ts.URL)
+	}
+	p, err := pdce.NewPool(urls, pdce.PoolOptions{ProbeInterval: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var batch []pdce.BatchProgram
+	for i := 0; i < 8; i++ {
+		batch = append(batch, pdce.BatchProgram{
+			Name:   fmt.Sprintf("async-%d", i),
+			Source: fmt.Sprintf("x := a + b%d\nif * {\n    x := c\n}\nout(x)\n", i),
+		})
+	}
+	receipts := p.SubmitAll(ctx, batch, pdce.RequestOptions{})
+	if len(receipts) != len(batch) {
+		t.Fatalf("SubmitAll returned %d receipts for %d programs", len(receipts), len(batch))
+	}
+	replicas := make(map[string]bool)
+	for i, rec := range receipts {
+		if rec.Err != nil {
+			t.Fatalf("submit %s: %v", rec.Name, rec.Err)
+		}
+		if rec.ID == "" || rec.Replica == "" {
+			t.Fatalf("receipt %d incomplete: %+v", i, rec)
+		}
+		replicas[rec.Replica] = true
+	}
+	if len(replicas) < 2 {
+		t.Fatalf("all %d submissions landed on one replica — affinity routing is not spreading", len(batch))
+	}
+
+	for i, rec := range receipts {
+		res, err := p.PollResult(ctx, rec.Replica, rec.ID, time.Millisecond)
+		if err != nil {
+			t.Fatalf("poll %s on %s: %v", rec.Name, rec.Replica, err)
+		}
+		if res.State != pdce.JobDone {
+			t.Fatalf("job %s: state %q error %q", rec.Name, res.State, res.Error)
+		}
+		// The async bytes must match a synchronous answer for the same
+		// program (determinism is the whole exactly-once story).
+		sync, _, err := p.Optimize(ctx, batch[i].Name, batch[i].Source, pdce.RequestOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var async pdce.OptimizeResponse
+		if err := json.Unmarshal(res.Result, &async); err != nil {
+			t.Fatalf("job %s result: %v", rec.Name, err)
+		}
+		ab, _ := json.Marshal(async)
+		sb, _ := json.Marshal(sync)
+		if string(ab) != string(sb) {
+			t.Fatalf("job %s: async result diverged from sync\nasync: %s\nsync:  %s", rec.Name, ab, sb)
+		}
+	}
+
+	// Duplicate submission: same program resubmitted must collapse onto
+	// the same replica and job ID.
+	again, replica, err := p.Submit(ctx, batch[0].Name, batch[0].Source, pdce.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != receipts[0].ID || replica != receipts[0].Replica {
+		t.Fatalf("resubmission moved: id %s@%s, want %s@%s",
+			again.ID, replica, receipts[0].ID, receipts[0].Replica)
+	}
+
+	// Polling a replica that never saw the job must not fabricate one.
+	var other string
+	for _, u := range urls {
+		if u != receipts[0].Replica {
+			other = u
+			break
+		}
+	}
+	if _, err := pdce.NewClient(other).Result(ctx, receipts[0].ID, false); err == nil {
+		t.Fatal("foreign replica answered for a job it never accepted")
+	}
+	if _, err := p.PollResult(ctx, "http://nobody:1", receipts[0].ID, time.Millisecond); err == nil ||
+		!strings.Contains(err.Error(), "unknown pool replica") {
+		t.Fatalf("PollResult against a non-member: err %v, want unknown-replica", err)
 	}
 }

@@ -265,6 +265,122 @@ func TestHedgeWinsAndLoserIsCancelled(t *testing.T) {
 	}
 }
 
+// MaxTotalRequests is a hard cap on wire requests per logical call:
+// with a budget below MaxAttempts, the failover loop must stop at the
+// budget — the shedding replica sees exactly that many requests.
+func TestRetryBudgetCapsTotalRequests(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ServerError{Kind: "draining", Message: "leaving"})
+	}))
+	defer ts.Close()
+
+	p, err := NewPool([]string{ts.URL}, PoolOptions{
+		ProbeInterval: -1,
+		Seed:          1,
+		Retry: RetryPolicy{
+			MaxAttempts:      5,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       2 * time.Millisecond,
+			MaxTotalRequests: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+
+	_, _, err = p.Optimize(context.Background(), "p", "x := a\nout(x)\n", RequestOptions{})
+	if err == nil {
+		t.Fatal("call against a permanently draining replica succeeded")
+	}
+	if !strings.Contains(err.Error(), "request budget (2) exhausted") {
+		t.Fatalf("error %v does not name the exhausted budget", err)
+	}
+	if calls != 2 {
+		t.Fatalf("replica saw %d requests, want exactly the budget of 2", calls)
+	}
+}
+
+// Hedges draw from the same budget: when it cannot fund a second
+// request, the hedge is skipped — the primary still answers, and no
+// hedge is counted.
+func TestRetryBudgetSkipsHedge(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		time.Sleep(30 * time.Millisecond)
+		w.Header().Set("X-Pdced-Cache", "hit")
+		w.Write(cannedResponse("slow"))
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Pdced-Cache", "hit")
+		w.Write(cannedResponse("fast"))
+	}))
+	defer fast.Close()
+
+	p, err := NewPool([]string{slow.URL, fast.URL}, PoolOptions{
+		ProbeInterval: -1,
+		Hedge:         true,
+		HedgeDelay:    5 * time.Millisecond,
+		Seed:          1,
+		Retry:         RetryPolicy{MaxAttempts: 2, MaxTotalRequests: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// A program homed on the slow replica, so only the budget stands
+	// between the hedge timer and a second request.
+	slowMember := p.members[0]
+	source, found := "", false
+	for i := 0; i < 64 && !found; i++ {
+		source = fmt.Sprintf("x := a%d\nout(x)\n", i)
+		found = p.candidates(p.affinityKey("p", source, RequestOptions{}))[0] == slowMember
+	}
+	if !found {
+		t.Fatal("could not find a program homed on the slow replica")
+	}
+	resp, _, err := p.Optimize(context.Background(), "p", source, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program != "slow" {
+		t.Fatalf("response came from %q; the budget should have pinned the call to the primary", resp.Program)
+	}
+	if snap := p.Stats().Snapshot(); snap.Hedges != 0 {
+		t.Fatalf("hedges = %d, want 0 (budget exhausted before the hedge)", snap.Hedges)
+	}
+}
+
+// Probe scheduling must be jittered: delays spread within ±20% of the
+// interval instead of landing on one synchronized tick.
+func TestProbeDelayJitter(t *testing.T) {
+	const interval = time.Hour // far beyond the test — the loop never fires
+	p, err := NewPool([]string{"http://replica-0:8723"}, PoolOptions{ProbeInterval: interval, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	lo, hi := time.Duration(float64(interval)*0.8), time.Duration(float64(interval)*1.2)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		d := p.probeDelay()
+		if d < lo || d >= hi {
+			t.Fatalf("probe delay %v outside [%v, %v)", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("probe delays never vary — the jitter is not applied")
+	}
+}
+
 // A transport failure ejects the replica and fails over; concurrent
 // callers under -race must each still get an answer.
 func TestTransportFailureFailsOver(t *testing.T) {

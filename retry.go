@@ -28,6 +28,14 @@ type RetryPolicy struct {
 	// delay when it is longer.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// MaxTotalRequests caps the wire requests one logical call may
+	// issue across the cluster, hedges included (default
+	// 2×MaxAttempts). MaxAttempts alone bounds failover rounds, but
+	// with hedging each round can cost two requests; under a cluster
+	// brown-out that doubling is exactly the amplification that turns a
+	// slowdown into a storm. When the budget is exhausted, no further
+	// attempt or hedge is sent and the last error is returned.
+	MaxTotalRequests int
 }
 
 func (rp RetryPolicy) withDefaults() RetryPolicy {
@@ -39,6 +47,9 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if rp.MaxBackoff <= 0 {
 		rp.MaxBackoff = 2 * time.Second
+	}
+	if rp.MaxTotalRequests <= 0 {
+		rp.MaxTotalRequests = 2 * rp.MaxAttempts
 	}
 	return rp
 }

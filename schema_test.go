@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pdce"
+	"pdce/internal/obs"
 )
 
 // reportSchema is the golden schema for -metrics-json payloads,
@@ -115,6 +116,42 @@ func validateValue(v, spec any, path string) error {
 		return validate(v, s, path)
 	default:
 		return fmt.Errorf("%s: bad schema: %T", path, spec)
+	}
+}
+
+// TestQueueStatsSchema pins the golden schema's queue_stats block to
+// the real obs.QueueSnapshot wire shape: every snapshot field must be
+// declared (unknown keys are rejected) and every declared field must
+// be emitted (all are required) — the block and the type can only
+// drift together, in the same change.
+func TestQueueStatsSchema(t *testing.T) {
+	raw, err := os.ReadFile(reportSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := schema["optional"].(map[string]any)["queue_stats"].(map[string]any)
+	if !ok {
+		t.Fatal("golden schema has no queue_stats block")
+	}
+
+	var stats obs.QueueStats
+	stats.AddSubmit()
+	stats.AddCompletion()
+	snap := stats.Snapshot(obs.QueueGauges{Depth: 1, WALRecords: 2, WALBytes: 64})
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(doc, spec, "$.queue_stats"); err != nil {
+		t.Errorf("QueueSnapshot does not match the golden queue_stats block: %v\npayload: %s", err, data)
 	}
 }
 
