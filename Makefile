@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server chaos-smoke docs-check ci
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke docs-check ci
 
 all: build
 
@@ -56,6 +56,17 @@ smoke-server:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/pdced
 	$(GO) test -race -count=1 -run 'TestCacheHitByteIdentical|TestQueueSaturation|TestGracefulDrain|TestPanic500NeverPoisonsCache' ./internal/server
 
+# Tracing smoke: boot a real pdced, push one request through a traced
+# pdce.Pool, and assert the daemon ends up holding the single merged
+# span tree (client root, attempt, server subtree down to the solver
+# rounds) plus the Prometheus text exposition of the trace-store
+# counters. The pool-retry, queue-span, and WAL-replay-link end-to-end
+# tests ride along, as does the -debug-addr pprof listener drill.
+smoke-trace:
+	$(GO) test -race -count=1 -run 'TestSmokeTrace|TestDebugListenerShutdown' ./cmd/pdced
+	$(GO) test -race -count=1 -run 'TestPoolTraceEndToEnd' .
+	$(GO) test -race -count=1 -run 'TestQueueTraceSpans|TestQueueReplayTraceLink|TestTraceJoinAndSpanTree' ./internal/server
+
 # Chaos smoke: one fixed-seed schedule of the cluster chaos harness
 # under the race detector — replica crashes with torn WAL tails,
 # interrupted drains, transport faults, and solver stalls against a
@@ -74,6 +85,6 @@ docs-check:
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the solver-engine
-# smoke, the containment fuzz smoke, the telemetry, serving, and chaos
-# smokes, and the docs drift guard.
-ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server chaos-smoke docs-check
+# smoke, the containment fuzz smoke, the telemetry, serving, tracing,
+# and chaos smokes, and the docs drift guard.
+ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke docs-check

@@ -164,6 +164,9 @@ type ServerMetrics struct {
 	// JobQueue is the durable async queue's section, absent when the
 	// server runs without a queue directory.
 	JobQueue *obs.QueueSnapshot `json:"job_queue,omitempty"`
+	// Traces is the request-tracing section — store counters and
+	// per-stage latency aggregates — absent when tracing is disabled.
+	Traces *TraceStoreSnapshot `json:"traces,omitempty"`
 	// UptimeMS is the wall time since the server was constructed.
 	UptimeMS int64 `json:"uptime_ms"`
 }
@@ -196,6 +199,11 @@ type SubmitResponse struct {
 	// collapsed onto it.
 	Cached    bool `json:"cached,omitempty"`
 	Duplicate bool `json:"duplicate,omitempty"`
+	// TraceID is the request trace the job was submitted under; the
+	// job's asynchronous execution records its spans in the same
+	// trace, so the ID stays queryable at /debug/traces/{id} across
+	// retries and even a daemon restart.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobResult is the JSON body of GET /optimize/result/{id}.
@@ -210,6 +218,9 @@ type JobResult struct {
 	// Result is the OptimizeResponse body for a done job, byte-identical
 	// to what a synchronous POST /optimize of the same program returns.
 	Result json.RawMessage `json:"result,omitempty"`
+	// TraceID is the request trace the job executes under (see
+	// SubmitResponse.TraceID).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // HealthResponse is the JSON body of GET /healthz: status "ok" (200)

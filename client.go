@@ -90,6 +90,7 @@ func (c *Client) Optimize(ctx context.Context, name, source string, o RequestOpt
 		return nil, "", err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	injectTraceContext(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, "", err
@@ -164,6 +165,7 @@ func (c *Client) Submit(ctx context.Context, name, source string, o RequestOptio
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "text/plain")
+	injectTraceContext(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -286,6 +288,96 @@ func (c *Client) Metrics(ctx context.Context) (*ServerMetrics, error) {
 		return nil, fmt.Errorf("pdced: decoding metrics response: %w", err)
 	}
 	return &m, nil
+}
+
+// injectTraceContext propagates the span attached to ctx (via
+// ContextWithSpan) as the W3C traceparent header, so the server-side
+// root span joins the caller's trace instead of starting a fresh one.
+// Without a span on the context the request goes out unmarked.
+func injectTraceContext(ctx context.Context, req *http.Request) {
+	if sc := SpanFromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set("Traceparent", sc.Traceparent())
+	}
+}
+
+// Traces lists the server's retained request traces, newest first
+// (GET /debug/traces). limit bounds the listing (0 = server default).
+func (c *Client) Traces(ctx context.Context, limit int) (*TraceList, error) {
+	u := c.base + "/debug/traces"
+	if limit > 0 {
+		u += "?limit=" + strconv.Itoa(limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+	var out TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdced: decoding trace list: %w", err)
+	}
+	return &out, nil
+}
+
+// TraceByID fetches one retained trace's span tree
+// (GET /debug/traces/{id}). A 404 — never recorded, sampled out, or
+// evicted — is returned as a *ServerError with Kind "not-found".
+func (c *Client) TraceByID(ctx context.Context, id string) (*TraceDump, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/debug/traces/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServerError(resp)
+	}
+	var out TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdced: decoding trace: %w", err)
+	}
+	return &out, nil
+}
+
+// PushTraces exports locally-recorded spans to the server's trace
+// store (POST /debug/traces), returning the count the server accepted.
+// The Pool uses this to ship its client-side spans so one trace shows
+// both sides of a request.
+func (c *Client) PushTraces(ctx context.Context, spans []SpanRecord) (int, error) {
+	body, err := json.Marshal(spans)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/debug/traces", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeServerError(resp)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("pdced: decoding ingest response: %w", err)
+	}
+	return out["ingested"], nil
 }
 
 // decodeServerError turns a non-2xx response into a *ServerError,

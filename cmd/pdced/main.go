@@ -16,6 +16,9 @@
 //	GET  /optimize/result/{id} poll an async job
 //	GET  /healthz              liveness (green even while load shedding)
 //	GET  /metrics              cache, queue, and latency counters
+//	                           (?format=prom for Prometheus text)
+//	GET  /debug/traces         retained request traces (tail-sampled)
+//	GET  /debug/traces/{id}    one trace's span tree
 //
 // Examples:
 //
@@ -36,6 +39,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +62,9 @@ var (
 	queueDir     = flag.String("queue-dir", "", "directory for the durable async job queue's write-ahead log (empty = async endpoints disabled)")
 	queueRetries = flag.Int("queue-retries", 0, "attempts per async job before it is poisoned (0 = 3)")
 	queueWorkers = flag.Int("queue-workers", 0, "worker pool size for the async queue (0 = 2)")
+	traceCap     = flag.Int("trace-cap", 512, "retained request traces (0 disables tracing)")
+	traceSample  = flag.Float64("trace-sample", 1.0, "keep probability for unremarkable traces in [0,1]; error and p99-slow traces are always kept")
+	debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it off the service port and firewalled — profiles expose source paths and heap contents")
 )
 
 func main() {
@@ -67,16 +74,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdced:", err)
 		os.Exit(1)
 	}
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdced: -debug-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pdced: pprof on http://%s/debug/pprof/ (do not expose publicly)\n", debugLn.Addr())
+	}
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	if err := serve(configFromFlags(), ln, sig); err != nil {
+	if err := serve(configFromFlags(), ln, debugLn, sig); err != nil {
 		fmt.Fprintln(os.Stderr, "pdced:", err)
 		os.Exit(1)
 	}
 }
 
 func configFromFlags() server.Config {
-	return server.Config{
+	cfg := server.Config{
 		CacheEntries:    *cacheEntries,
 		SpillDir:        *spillDir,
 		MaxInFlight:     *maxInFlight,
@@ -88,18 +104,50 @@ func configFromFlags() server.Config {
 		QueueDir:        *queueDir,
 		QueueRetries:    *queueRetries,
 		QueueWorkers:    *queueWorkers,
+		TraceCapacity:   *traceCap,
+		TraceSample:     *traceSample,
+	}
+	if *traceCap <= 0 {
+		cfg.TraceCapacity = -1 // the CLI's "0 = off" maps to Config's "negative = off"
+	}
+	return cfg
+}
+
+// serveDebug runs the opt-in pprof surface on its own listener, kept
+// apart from the service port so profiles are never one firewall
+// mistake away from the public API. The returned shutdown closes the
+// listener as well as the server — srv.Close only closes listeners
+// Serve has already registered, and losing that race would leave the
+// debug port bound for the life of the process (the same pattern as
+// cmd/pdce's telemetry listener).
+func serveDebug(ln net.Listener) (shutdown func()) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() {
+		srv.Close()
+		ln.Close()
 	}
 }
 
 // serve runs the daemon on ln until a signal arrives, then drains:
 // the server stops admitting (503 + red /healthz), the HTTP layer
-// waits for in-flight requests, and the listener closes. Factored out
-// of main so tests can drive a real daemon on an ephemeral port with a
+// waits for in-flight requests, and the listener closes. debugLn, when
+// non-nil, serves pprof until the same shutdown. Factored out of main
+// so tests can drive a real daemon on an ephemeral port with a
 // synthesized signal.
-func serve(cfg server.Config, ln net.Listener, sig <-chan os.Signal) error {
+func serve(cfg server.Config, ln, debugLn net.Listener, sig <-chan os.Signal) error {
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if debugLn != nil {
+		defer serveDebug(debugLn)()
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)

@@ -38,7 +38,7 @@ func TestServeSmoke(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(server.Config{SpillDir: t.TempDir()}, ln, sig)
+		done <- serve(server.Config{SpillDir: t.TempDir()}, ln, nil, sig)
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -125,7 +125,7 @@ func TestServeDrainRestartQueue(t *testing.T) {
 	}
 	sig := make(chan os.Signal, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve(cfg, ln, sig) }()
+	go func() { done <- serve(cfg, ln, nil, sig) }()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -197,7 +197,7 @@ func TestServeDrainRestartQueue(t *testing.T) {
 	}
 	sig2 := make(chan os.Signal, 1)
 	done2 := make(chan error, 1)
-	go func() { done2 <- serve(cfg, ln2, sig2) }()
+	go func() { done2 <- serve(cfg, ln2, nil, sig2) }()
 	client2 := pdce.NewClient("http://" + ln2.Addr().String())
 	waitHealthy(t, ctx, client2)
 

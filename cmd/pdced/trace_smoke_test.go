@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdce"
+	"pdce/internal/server"
+)
+
+// TestSmokeTrace is the tracing smoke behind `make smoke-trace`: a
+// real pdced on an ephemeral port takes one traced request through a
+// pdce.Pool, and the daemon's /debug/traces must then hold ONE merged
+// trace containing the pool's client spans and the server's own
+// subtree down to the solver rounds, while /metrics?format=prom
+// exposes the store counters in Prometheus text format.
+func TestSmokeTrace(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(server.Config{TraceSeed: 42}, ln, nil, sig)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := pdce.NewClient(base)
+	waitHealthy(t, ctx, client)
+
+	store := pdce.NewTraceStore(16, 1.0, 7)
+	p, err := pdce.NewPool([]string{base}, pdce.PoolOptions{Traces: store, ProbeInterval: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	src := "y := a + b\nif * {\n    y := c\n}\nout(x + y)\n"
+	if _, _, err := p.Optimize(ctx, "smoke-trace", src, pdce.RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	list := store.Summaries(0)
+	if len(list.Traces) != 1 {
+		t.Fatalf("pool recorded %d traces, want 1", len(list.Traces))
+	}
+	dump, err := client.TraceByID(ctx, list.Traces[0].TraceID)
+	if err != nil {
+		t.Fatalf("daemon lost the trace: %v", err)
+	}
+	names := map[string]int{}
+	for _, sp := range dump.Spans {
+		if sp.TraceID != list.Traces[0].TraceID {
+			t.Fatalf("span %s in foreign trace %s", sp.SpanID, sp.TraceID)
+		}
+		names[sp.Name]++
+	}
+	for _, n := range []string{"client.request", "client.attempt", "server.optimize", "solve", "solve.round"} {
+		if names[n] == 0 {
+			t.Errorf("merged trace missing %q span: %v", n, names)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prom content type %q", ct)
+	}
+	if !strings.Contains(string(prom), "pdce_traces_kept 1") {
+		t.Errorf("prom exposition missing trace counters:\n%s", prom)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestDebugListenerShutdown is the -debug-addr leak regression: the
+// pprof side listener must serve while the daemon runs and be fully
+// released — port rebindable — after SIGTERM, even though it lives on
+// its own http.Server outside the main drain path.
+func TestDebugListenerShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(server.Config{}, ln, debugLn, sig)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	waitHealthy(t, ctx, pdce.NewClient("http://"+ln.Addr().String()))
+
+	debugBase := "http://" + debugLn.Addr().String()
+	resp, err := http.Get(debugBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: %d %s", resp.StatusCode, body)
+	}
+	// The service endpoints must NOT be on the debug listener, nor
+	// pprof on the service one.
+	if resp, err := http.Get(debugBase + "/optimize"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("service route reachable on the debug listener")
+		}
+		resp.Body.Close()
+	}
+	if resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("pprof reachable on the service listener")
+		}
+		resp.Body.Close()
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	for _, addr := range []string{ln.Addr().String(), debugLn.Addr().String()} {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("port %s still held after shutdown: %v", addr, err)
+		}
+		l.Close()
+	}
+}

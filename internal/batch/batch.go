@@ -169,6 +169,16 @@ func runJob(ctx context.Context, j Job, worker int) (res Result) {
 		if v := recover(); v != nil {
 			res.Graph, res.Err = nil, &core.PanicError{Value: v, Stack: debug.Stack()}
 		}
+		// The job's tracing span (if any) is owned by this worker: end
+		// it here so panic and interrupt paths record an error class
+		// and a duration like any other outcome.
+		if sp := j.Options.Span; sp != nil {
+			sp.SetInt("worker", int64(worker))
+			if res.Err != nil {
+				sp.SetError(core.ErrorClass(res.Err))
+			}
+			sp.End()
+		}
 	}()
 	if j.Options.Ctx == nil {
 		j.Options.Ctx = ctx

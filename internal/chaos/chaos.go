@@ -25,6 +25,7 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -448,9 +449,54 @@ func (h *harness) verify() {
 		if err != nil || string(res2.Result) != string(res.Result) {
 			h.t.Fatalf("job %s on %s: repeated poll diverged (err %v)", rc.id, rc.replica, err)
 		}
+		// Trace identity is durable: the trace id rides the WAL submit
+		// record, so even a job replayed after a crash must still
+		// report the trace it was born into.
+		if res.TraceID == "" {
+			h.t.Fatalf("job %s on %s: completed without a trace id", rc.id, rc.replica)
+		}
+		h.checkTrace(rc, res.TraceID)
 	}
 	if len(h.order) == 0 {
 		h.t.Fatal("chaos run acknowledged no submissions; the schedule tested nothing")
+	}
+}
+
+// checkTrace asserts the crash-recovery tracing contract for one
+// acked job. The trace id itself is durable (it rides the WAL submit
+// record); the span store is in-memory, so the trace body is only
+// retrievable when the job executed after the replica's latest boot.
+// When it is retrievable and the execution was a WAL replay, the
+// execute root must link back to the pre-crash enqueue span.
+func (h *harness) checkTrace(rc receipt, traceID string) {
+	cl := &http.Client{Transport: h.tr}
+	resp, err := cl.Get(rc.replica + "/debug/traces/" + traceID)
+	if err != nil {
+		h.t.Fatalf("job %s: fetch trace %s: %v", rc.id, traceID, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		// The span bodies died with the crashed process's memory, or
+		// eviction took them; only the id's durability is guaranteed.
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		h.t.Fatalf("job %s: trace %s: %d %s", rc.id, traceID, resp.StatusCode, body)
+	}
+	var dump pdce.TraceDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		h.t.Fatalf("job %s: trace %s: %v", rc.id, traceID, err)
+	}
+	for _, sp := range dump.Spans {
+		if sp.TraceID != traceID {
+			h.t.Fatalf("job %s: span %s carries trace %s, want %s", rc.id, sp.SpanID, sp.TraceID, traceID)
+		}
+		if sp.Name == "queue.execute" && sp.Attrs["replayed"] == "true" {
+			if sp.LinkTraceID != traceID || sp.LinkSpanID == "" {
+				h.t.Fatalf("job %s: replayed execute span lost its restart link: %+v", rc.id, sp)
+			}
+		}
 	}
 }
 

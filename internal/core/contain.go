@@ -86,6 +86,27 @@ func Partial(err error) bool {
 	return errors.As(err, &ie) || errors.As(err, &re)
 }
 
+// ErrorClass names err's containment category for telemetry and
+// request tracing: "panic", "interrupt", "round-check", a bare
+// "error" for anything else, "" for nil.
+func ErrorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *PanicError
+	var ie *InterruptError
+	var re *RoundCheckError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &ie):
+		return "interrupt"
+	case errors.As(err, &re):
+		return "round-check"
+	}
+	return "error"
+}
+
 // SafeTransform is Transform with panic containment: a panic anywhere
 // inside the run — the driver, an analysis, a callback — is recovered
 // and returned as a *PanicError instead of unwinding into the caller.

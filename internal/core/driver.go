@@ -121,6 +121,51 @@ type Options struct {
 	// point a no-op; hot-region runs collect solver metrics only
 	// coarsely and record no provenance.
 	Collector *obs.Collector
+
+	// Span, when non-nil, is the request-tracing span covering this
+	// run: each fixpoint round opens a "solve.round" child with
+	// "solve.eliminate"/"solve.sink" phase children, and Transform
+	// annotates the span with round and effect counts on exit. The
+	// driver never ends the span — its creator does. A nil span costs
+	// one pointer check per phase and allocates nothing (the same
+	// discipline as Collector).
+	Span *obs.Span
+}
+
+// roundSpans manages one driver loop's round and phase child spans.
+// All methods no-op when the run is untraced (nil parent), keeping the
+// hot loop allocation-free.
+type roundSpans struct {
+	parent *obs.Span
+	round  *obs.Span
+	phase  *obs.Span
+}
+
+func (rs *roundSpans) beginRound(n int) {
+	if rs.parent == nil {
+		return
+	}
+	rs.endRound()
+	rs.round = rs.parent.Child("solve.round")
+	rs.round.SetInt("round", int64(n))
+}
+
+func (rs *roundSpans) beginPhase(name string) {
+	if rs.parent == nil {
+		return
+	}
+	rs.phase.End()
+	rs.phase = rs.round.Child(name)
+}
+
+func (rs *roundSpans) endRound() {
+	if rs.parent == nil {
+		return
+	}
+	rs.phase.End()
+	rs.phase = nil
+	rs.round.End()
+	rs.round = nil
 }
 
 // PhaseEvent describes one completed phase of the fixpoint iteration.
@@ -259,6 +304,14 @@ func Transform(g *cfg.Graph, opt Options) (*cfg.Graph, Stats, error) {
 		}
 		st.Telemetry = opt.Collector.Snapshot(opsDelta)
 	}
+	if opt.Span != nil {
+		opt.Span.SetAttr("mode", opt.Mode.String())
+		opt.Span.SetInt("rounds", int64(st.Rounds))
+		opt.Span.SetInt("eliminated", int64(st.Eliminated))
+		opt.Span.SetInt("inserted", int64(st.Inserted))
+		opt.Span.SetInt("stmts_in", int64(st.OriginalStmts))
+		opt.Span.SetInt("stmts_out", int64(st.FinalStmts))
+	}
 	return out, st, err
 }
 
@@ -323,6 +376,8 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 
 	wd := newWatchdog(opt)
 	rv := newRoundVerifier(opt, out)
+	rs := roundSpans{parent: opt.Span}
+	defer rs.endRound()
 	limit := roundCap(out)
 	for {
 		if wd.expired() {
@@ -330,11 +385,13 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 		}
 		st.Rounds++
 		wd.startRound()
+		rs.beginRound(st.Rounds)
 		if st.Rounds > limit {
 			return nil, errNoFixpoint(opt.Mode, limit)
 		}
 
 		faultinject.Fire(faultinject.EliminatePhase, out)
+		rs.beginPhase("solve.eliminate")
 		tr.BeginPhase(st.Rounds, "eliminate", elimAnalysis)
 		e := eliminate()
 		st.Eliminated += e.Removed
@@ -350,6 +407,7 @@ func runReference(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) {
 			return rv.best(out), wd.interrupt(st.Rounds, "eliminate")
 		}
 
+		rs.beginPhase("solve.sink")
 		tr.BeginPhase(st.Rounds, "sink", "delay")
 		s := sink()
 		st.Inserted += s.InsertedEntry + s.InsertedExit
@@ -481,6 +539,8 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		pendSink.add(n.ID)
 	}
 
+	rs := roundSpans{parent: opt.Span}
+	defer rs.endRound()
 	limit := roundCap(out)
 	for {
 		if wd.expired() {
@@ -488,11 +548,13 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		}
 		st.Rounds++
 		wd.startRound()
+		rs.beginRound(st.Rounds)
 		if st.Rounds > limit {
 			return nil, errNoFixpoint(opt.Mode, limit)
 		}
 
 		faultinject.Fire(faultinject.EliminatePhase, out)
+		rs.beginPhase("solve.eliminate")
 		var e ElimStats
 		if opt.Mode == ModeFaint {
 			tr.BeginPhase(st.Rounds, "eliminate", "faint")
@@ -534,6 +596,7 @@ func runIncremental(out *cfg.Graph, opt Options, st *Stats) (*cfg.Graph, error) 
 		if wd.expired() {
 			return rv.best(out), wd.interrupt(st.Rounds, "sink")
 		}
+		rs.beginPhase("solve.sink")
 		tr.BeginPhase(st.Rounds, "sink", "delay")
 		dres := delay.Solve(pendSink.take())
 		if dres.Stats.Cancelled {

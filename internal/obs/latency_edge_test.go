@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Latency-ring percentile edges shared by ServerStats and ClientStats:
+// the empty ring, the single sample, and the exact wraparound where
+// the write index returns to zero.
+
+func TestLatencyRingEmpty(t *testing.T) {
+	var srv ServerStats
+	snap := srv.Snapshot()
+	if snap.P50NS != 0 || snap.P95NS != 0 || snap.MaxNS != 0 || snap.Samples != 0 {
+		t.Errorf("empty server ring: %+v", snap)
+	}
+	var cli ClientStats
+	if cli.P95() != 0 {
+		t.Errorf("empty client ring p95 = %v", cli.P95())
+	}
+	csnap := cli.Snapshot()
+	if csnap.P50NS != 0 || csnap.P95NS != 0 || csnap.Samples != 0 {
+		t.Errorf("empty client ring: %+v", csnap)
+	}
+}
+
+func TestLatencyRingOneSample(t *testing.T) {
+	var srv ServerStats
+	srv.RecordLatency(7 * time.Millisecond)
+	snap := srv.Snapshot()
+	// With n=1 every nearest-rank percentile is that sample.
+	if time.Duration(snap.P50NS) != 7*time.Millisecond ||
+		time.Duration(snap.P95NS) != 7*time.Millisecond ||
+		time.Duration(snap.MaxNS) != 7*time.Millisecond || snap.Samples != 1 {
+		t.Errorf("one-sample server ring: %+v", snap)
+	}
+	var cli ClientStats
+	cli.RecordLatency(7 * time.Millisecond)
+	if cli.P95() != 7*time.Millisecond {
+		t.Errorf("one-sample client p95 = %v", cli.P95())
+	}
+}
+
+func TestLatencyRingExactWraparound(t *testing.T) {
+	var s ServerStats
+	// Fill the ring exactly: the next sample must land at index 0,
+	// displacing the oldest — an off-by-one here would either drop the
+	// new sample or grow the ring past its window.
+	for i := 0; i < latencyWindow; i++ {
+		s.RecordLatency(time.Microsecond)
+	}
+	s.RecordLatency(time.Second) // the wraparound write
+	snap := s.Snapshot()
+	if snap.Samples != latencyWindow+1 {
+		t.Errorf("lifetime samples = %d, want %d", snap.Samples, latencyWindow+1)
+	}
+	if time.Duration(snap.MaxNS) != time.Second {
+		t.Errorf("max after wraparound = %v, want 1s (new sample lost)", time.Duration(snap.MaxNS))
+	}
+	// The window still holds exactly latencyWindow samples: 1023 fast
+	// ones and the 1s outlier, so p50 is still the fast value.
+	if time.Duration(snap.P50NS) != time.Microsecond {
+		t.Errorf("p50 after wraparound = %v", time.Duration(snap.P50NS))
+	}
+}
+
+// TestServerStatsSnapshotRace snapshots concurrently WITH the writers
+// (the existing concurrency test only snapshots after they finish), so
+// -race proves readers never observe the ring mid-update.
+func TestServerStatsSnapshotRace(t *testing.T) {
+	var s ServerStats
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.AddRequest()
+				s.AddOptimize()
+				s.RecordLatency(time.Duration(i))
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		snap := s.Snapshot()
+		if snap.Requests < 0 || snap.P95NS < snap.P50NS {
+			t.Fatalf("inconsistent snapshot: %+v", snap)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestClientStatsSnapshotRace(t *testing.T) {
+	var s ClientStats
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := []string{"a", "b"}[g%2]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.AddAttempt(base)
+				s.AddFailure(base)
+				s.AddHedge()
+				s.AddAffinityHit()
+				s.RecordLatency(time.Duration(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		snap := s.Snapshot()
+		for base, rc := range snap.Replicas {
+			if rc.Attempts < 0 {
+				t.Fatalf("replica %s: %+v", base, rc)
+			}
+		}
+		s.P95()
+	}
+	close(stop)
+	wg.Wait()
+}

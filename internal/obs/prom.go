@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format=prom on pdced's /metrics).
+//
+// Rather than hand-maintaining a parallel list of metrics — which
+// would drift from the JSON surface the moment a snapshot grows a
+// field — WriteProm renders any JSON-tagged snapshot struct by
+// reflection: every numeric field becomes a gauge named by its json
+// tag path, maps become labeled series, and the docs guard's
+// reflection walk therefore covers both wire formats at once.
+
+// WriteProm renders v in the Prometheus text exposition format
+// (version 0.0.4). Numeric and bool fields become gauges named
+// prefix_<path> where <path> joins the json tags along the way;
+// map[string]T fields become one series per key with a {key="..."}
+// label. String fields are skipped (Prometheus has no string samples).
+// Output is deterministic: series are emitted in sorted name order.
+func WriteProm(w io.Writer, prefix string, v any) error {
+	c := &promCollector{samples: make(map[string][]promSample)}
+	c.walk(reflect.ValueOf(v), prefix, "")
+	names := make([]string, 0, len(c.samples))
+	for name := range c.samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		ss := c.samples[name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].label < ss[j].label })
+		for _, s := range ss {
+			var err error
+			if s.label == "" {
+				_, err = fmt.Fprintf(w, "%s %s\n", name, s.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{key=%q} %s\n", name, s.label, s.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type promSample struct {
+	label string
+	value string
+}
+
+type promCollector struct {
+	samples map[string][]promSample
+}
+
+func (c *promCollector) add(name, label, value string) {
+	c.samples[name] = append(c.samples[name], promSample{label: label, value: value})
+}
+
+// walk recurses through v emitting samples. name is the metric name
+// accumulated so far; label the map key in effect (one level of
+// labeling is supported — nested maps flatten their inner path into
+// the metric name).
+func (c *promCollector) walk(v reflect.Value, name, label string) {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return
+		}
+		c.walk(v.Elem(), name, label)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "-" {
+				continue
+			}
+			if tag == "" {
+				tag = strings.ToLower(f.Name)
+			}
+			c.walk(v.Field(i), joinMetric(name, tag), label)
+		}
+	case reflect.Map:
+		keys := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			keys = append(keys, fmt.Sprint(iter.Key().Interface()))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c.walk(v.MapIndex(reflect.ValueOf(k)), name, k)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		c.add(name, label, fmt.Sprintf("%d", v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		c.add(name, label, fmt.Sprintf("%d", v.Uint()))
+	case reflect.Float32, reflect.Float64:
+		c.add(name, label, fmt.Sprintf("%g", v.Float()))
+	case reflect.Bool:
+		b := "0"
+		if v.Bool() {
+			b = "1"
+		}
+		c.add(name, label, b)
+	}
+	// Strings, slices, and anything else have no Prometheus sample
+	// form and are skipped.
+}
+
+func joinMetric(base, tag string) string {
+	var b strings.Builder
+	b.Grow(len(base) + 1 + len(tag))
+	b.WriteString(base)
+	if base != "" {
+		b.WriteByte('_')
+	}
+	for _, r := range tag {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -27,9 +27,15 @@ func docsAPI(t *testing.T) string {
 }
 
 func TestDocsCoverQueryParams(t *testing.T) {
-	src, err := os.ReadFile("server.go")
-	if err != nil {
-		t.Fatal(err)
+	// Every file that registers handlers: server.go owns the optimize
+	// family and /metrics, trace.go the /debug/traces family.
+	var src []byte
+	for _, f := range []string{"server.go", "trace.go"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src = append(src, data...)
 	}
 	// Both spellings the handlers use: q.Get("...") on a bound
 	// url.Values and the inline r.URL.Query().Get("...").

@@ -82,6 +82,15 @@ type qjob struct {
 	submitted time.Time
 	notBefore time.Time
 	replayed  bool
+
+	// Request-tracing identity, persisted in the WAL submit record:
+	// traceID is the submitting request's trace, spanID the enqueue
+	// span, requestID the Pdce-Request-Id. Execution spans — even
+	// after a crash and replay in a fresh process — join the same
+	// trace and link back to the enqueue span.
+	traceID   string
+	spanID    string
+	requestID string
 }
 
 // walFile is the log's name inside Config.QueueDir.
@@ -159,6 +168,7 @@ func (q *Queue) fold(recs []walRecord) {
 				id: rec.ID, name: rec.Name, source: rec.Source, lang: rec.Lang,
 				mode: rec.Mode, maxRounds: rec.MaxRounds,
 				telemetry: rec.Telemetry, trace: rec.Trace,
+				traceID: rec.TraceID, spanID: rec.SpanID, requestID: rec.RequestID,
 				state: pdce.JobQueued, submitted: now,
 			}
 		case "start":
@@ -193,6 +203,7 @@ func (q *Queue) compactRecords() []walRecord {
 		recs = append(recs, walRecord{
 			Op: "submit", ID: j.id, Name: j.name, Source: j.source, Lang: j.lang,
 			Mode: j.mode, MaxRounds: j.maxRounds, Telemetry: j.telemetry, Trace: j.trace,
+			TraceID: j.traceID, SpanID: j.spanID, RequestID: j.requestID,
 		})
 		switch j.state {
 		case pdce.JobDone:
@@ -215,7 +226,14 @@ func (q *Queue) compactRecords() []walRecord {
 // fsync'd before Submit returns; an append or fsync failure is
 // returned as an error and the job is not accepted (the caller must
 // not acknowledge it).
-func (q *Queue) Submit(id, name, source, lang string, o pdce.Options) (state string, dup bool, err error) {
+//
+// sp, when non-nil, is the submitting request's span: Submit opens a
+// "queue.enqueue" child with a "queue.wal.fsync" child under it, and
+// persists the trace identity in the submit record so the job's later
+// execution — possibly in a different process lifetime — continues
+// the same trace. rid is the request's Pdce-Request-Id, stamped into
+// repro bundles the job's attempts may write.
+func (q *Queue) Submit(id, name, source, lang string, o pdce.Options, sp *obs.Span, rid string) (state string, dup bool, err error) {
 	// Submissions are serialized by submitMu so the job table only ever
 	// holds durably-logged jobs: a concurrent duplicate must not be
 	// acknowledged off the back of a first submission whose fsync is
@@ -236,22 +254,34 @@ func (q *Queue) Submit(id, name, source, lang string, o pdce.Options) (state str
 	}
 	q.mu.Unlock()
 
+	esp := sp.Child("queue.enqueue")
+	sc := esp.Context()
 	j := &qjob{
 		id: id, name: name, source: source, lang: lang,
 		mode: o.Mode.String(), maxRounds: o.MaxRounds,
 		telemetry: o.Telemetry, trace: o.Trace,
+		traceID: sc.TraceID, spanID: sc.SpanID, requestID: rid,
 		state: pdce.JobQueued, submitted: time.Now(),
 	}
 	rec := walRecord{
 		Op: "submit", ID: id, Name: name, Source: source, Lang: lang,
 		Mode: j.mode, MaxRounds: j.maxRounds, Telemetry: j.telemetry, Trace: j.trace,
+		TraceID: j.traceID, SpanID: j.spanID, RequestID: j.requestID,
 	}
-	if err := q.wal.Append(rec, true); err != nil {
+	fsp := esp.Child("queue.wal.fsync")
+	err = q.wal.Append(rec, true)
+	if err != nil {
+		fsp.SetError("fsync")
+		fsp.End()
+		esp.SetError("fsync")
+		esp.End()
 		// Durability could not be promised: the job was never admitted,
 		// so a retried submission starts clean.
 		q.stats.AddFsyncFailure()
 		return "", false, err
 	}
+	fsp.End()
+	esp.End()
 	q.mu.Lock()
 	q.jobs[id] = j
 	q.ready = append(q.ready, id)
@@ -278,6 +308,7 @@ func (q *Queue) Result(id string, ack bool) (pdce.JobResult, bool) {
 		State:    j.state,
 		Attempts: j.attempts,
 		Error:    j.lastErr,
+		TraceID:  j.traceID,
 	}
 	if j.state == pdce.JobDone {
 		res.Result = json.RawMessage(j.body)
@@ -445,10 +476,25 @@ func (q *Queue) next() (j *qjob, wait time.Duration, ok bool) {
 func (q *Queue) run(j *qjob) {
 	q.wal.Append(walRecord{Op: "start", ID: j.id, Attempts: j.attempts + 1}, false)
 
-	body, degraded, runErr := q.execute(j)
+	// The execution span is a root (it decides retention in THIS
+	// process's store — the submission may have happened in a previous
+	// lifetime) parented on the enqueue span persisted in the WAL, so
+	// the dequeue-to-done gap shows up as the tree's timing hole. A
+	// replayed job additionally records an explicit restart link.
+	xsp := q.srv.traces.StartSpan("queue.execute", "pdced",
+		obs.SpanContext{TraceID: j.traceID, SpanID: j.spanID})
+	xsp.SetAttr("job", j.id)
+	xsp.SetInt("attempt", int64(j.attempts+1))
+	if j.replayed {
+		xsp.SetAttr("replayed", "true")
+		xsp.SetLink(obs.SpanContext{TraceID: j.traceID, SpanID: j.spanID})
+	}
+
+	body, degraded, runErr := q.execute(j, xsp)
 	if q.ctx.Err() != nil {
 		// Killed mid-run: no outcome may be logged — the job replays
 		// after restart, and determinism makes the replay harmless.
+		// (The span dies with this store; the replay's span survives.)
 		return
 	}
 	if runErr == nil {
@@ -464,6 +510,12 @@ func (q *Queue) run(j *qjob) {
 			q.stats.AddDegraded()
 		}
 		q.mu.Unlock()
+		if degraded {
+			xsp.SetAttr("outcome", "degraded")
+		} else {
+			xsp.SetAttr("outcome", "done")
+		}
+		xsp.End()
 		return
 	}
 
@@ -483,6 +535,15 @@ func (q *Queue) run(j *qjob) {
 	}
 	q.mu.Unlock()
 	q.wal.Append(walRecord{Op: "fail", ID: j.id, Attempts: attempts, Error: runErr.Error()}, poisoned)
+	if poisoned {
+		// Poisoned jobs make their trace an always-keep: SetError on a
+		// root span survives tail sampling even if the submission's
+		// side was sampled out.
+		xsp.SetError("poisoned")
+	} else {
+		xsp.SetAttr("outcome", "retry")
+	}
+	xsp.End()
 	if !poisoned {
 		q.wakeOne()
 	}
@@ -504,15 +565,24 @@ func (q *Queue) retryDelay(attempts int) time.Duration {
 // mirrors the interactive handler: cache first, then the server-wide
 // singleflight (an identical interactive request or a sibling replica
 // of this job computes once), then a contained optimizer run.
-func (q *Queue) execute(j *qjob) (body []byte, degraded bool, err error) {
+func (q *Queue) execute(j *qjob, xsp *obs.Span) (body []byte, degraded bool, err error) {
+	csp := xsp.Child("server.cache")
 	if body, ok := q.srv.cache.Get(j.id); ok {
+		csp.SetAttr("outcome", "hit")
+		csp.End()
 		return body, false, nil
 	}
+	csp.SetAttr("outcome", "miss")
+	csp.End()
 	leader, call := q.srv.joinFlight(j.id)
 	if !leader {
+		wsp := xsp.Child("server.flight.wait")
 		select {
 		case <-call.done:
+			wsp.End()
 		case <-q.ctx.Done():
+			wsp.SetError("killed")
+			wsp.End()
 			return nil, false, q.ctx.Err()
 		}
 		if body, ok := q.srv.cache.Get(j.id); ok {
@@ -540,8 +610,15 @@ func (q *Queue) execute(j *qjob) (body []byte, degraded bool, err error) {
 	o.Context = ctx
 	o.RoundBudget = q.srv.cfg.RoundBudget
 	o.ReproDir = q.srv.cfg.ReproDir
+	o.RequestTag = j.requestID
+	ssp := xsp.Child("solve")
+	o.Span = ssp
 
 	opt, st, oerr := prog.SafeOptimize(o)
+	if oerr != nil {
+		ssp.SetError(errorKind(oerr))
+	}
+	ssp.End()
 	resp := q.srv.buildResponse(j.name, j.id, o, opt, st, "")
 	switch {
 	case oerr == nil:

@@ -100,6 +100,18 @@ type Config struct {
 	// serializes a fixed per-node service cost so replica scaling is
 	// measurable on a single machine — and is never set in production.
 	RequestHook func(r *http.Request)
+
+	// TraceCapacity bounds the in-process request-trace store (default
+	// 512 traces; negative disables tracing entirely — requests then
+	// pay one nil check per boundary and the /debug/traces surface
+	// answers 503). TraceSample is the tail-sampling keep probability
+	// for unremarkable traces in (0,1] (default 1 = keep all within
+	// capacity); error, shed, and p99-slow traces are always kept.
+	// TraceSeed fixes the sampling RNG for reproducible tests (0 =
+	// wall clock).
+	TraceCapacity int
+	TraceSample   float64
+	TraceSeed     int64
 }
 
 func (c Config) withDefaults() Config {
@@ -133,17 +145,24 @@ func (c Config) withDefaults() Config {
 	if c.QueueMaxBackoff <= 0 {
 		c.QueueMaxBackoff = 2 * time.Second
 	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 512
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
 	return c
 }
 
 // Server is one pdced instance. Construct with New, expose with
 // Handler, stop with Drain.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	adm   *Admission
-	stats *obs.ServerStats
-	queue *Queue // nil when Config.QueueDir is empty
+	cfg    Config
+	cache  *Cache
+	adm    *Admission
+	stats  *obs.ServerStats
+	queue  *Queue          // nil when Config.QueueDir is empty
+	traces *obs.TraceStore // nil when Config.TraceCapacity < 0
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -170,6 +189,9 @@ func New(cfg Config) (*Server, error) {
 		flight:  make(map[string]*flightCall),
 		started: time.Now(),
 	}
+	if cfg.TraceCapacity > 0 {
+		s.traces = obs.NewTraceStore(cfg.TraceCapacity, cfg.TraceSample, cfg.TraceSeed)
+	}
 	if cfg.QueueDir != "" {
 		if s.queue, err = newQueue(s, cfg); err != nil {
 			return nil, err
@@ -192,6 +214,10 @@ func (s *Server) Admission() *Admission { return s.adm }
 // the chaos harness use it for crash simulation and gauge assertions.
 func (s *Server) Queue() *Queue { return s.queue }
 
+// Traces exposes the request-trace store (nil when tracing is
+// disabled). Tests and the chaos harness query it directly.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
 // Handler returns the HTTP surface:
 //
 //	POST /optimize             body = program source; see handleOptimize
@@ -199,7 +225,14 @@ func (s *Server) Queue() *Queue { return s.queue }
 //	POST /optimize/submit      async submission; see handleSubmit
 //	GET  /optimize/result/{id} async job state; see handleResult
 //	GET  /healthz              liveness: "ok", or "draining" with 503
-//	GET  /metrics              pdce.ServerMetrics JSON
+//	GET  /metrics              pdce.ServerMetrics JSON (?format=prom
+//	                           for Prometheus text exposition)
+//	GET  /debug/traces         retained request traces, newest first
+//	GET  /debug/traces/{id}    one trace's span tree
+//	POST /debug/traces         span ingest (pool clients export here)
+//
+// Every response carries Pdce-Request-Id; traced requests additionally
+// carry Pdce-Trace-Id and join the caller's traceparent when present.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
@@ -208,7 +241,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /optimize/result/{id}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	mux.HandleFunc("POST /debug/traces", s.handleTraceIngest)
+	return s.withObservability(mux)
 }
 
 // --- graceful drain ---------------------------------------------------
@@ -313,6 +349,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.RequestHook != nil {
 		s.cfg.RequestHook(r)
 	}
+	sp := obs.SpanFromContext(r.Context())
 
 	o, explain, perr := optionsFromQuery(r)
 	if perr != "" {
@@ -336,7 +373,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := requestKey(prog, o, explain)
-	if body, ok := s.cache.Get(key); ok {
+	csp := sp.Child("server.cache")
+	body, hit := s.cache.Get(key)
+	if hit {
+		csp.SetAttr("outcome", "hit")
+	} else {
+		csp.SetAttr("outcome", "miss")
+	}
+	csp.End()
+	if hit {
 		s.stats.AddCacheHit()
 		s.serve(w, body, pdce.CacheHit)
 		return
@@ -348,9 +393,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// itself below.
 	leader, call := s.joinFlight(key)
 	if !leader {
+		wsp := sp.Child("server.flight.wait")
 		select {
 		case <-call.done:
+			wsp.End()
 		case <-r.Context().Done():
+			wsp.SetError("canceled")
+			wsp.End()
 			s.httpError(w, http.StatusServiceUnavailable, "canceled", "client gave up waiting", "")
 			return
 		}
@@ -364,16 +413,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.AddCacheMiss()
 
+	asp := sp.Child("server.admission")
 	if err := s.adm.Acquire(r.Context()); err != nil {
 		if errors.Is(err, ErrQueueFull) {
+			asp.SetError("queue-full")
+			asp.End()
 			s.stats.AddShedQueueFull()
 			s.httpError(w, http.StatusTooManyRequests, "queue-full",
 				"server at capacity, retry later", "")
 			return
 		}
+		asp.SetError("canceled")
+		asp.End()
 		s.httpError(w, http.StatusServiceUnavailable, "canceled", err.Error(), "")
 		return
 	}
+	asp.End()
 	defer s.adm.Release()
 	faultinject.Fire(faultinject.ServerRequest, prog.Name())
 
@@ -386,9 +441,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	o.Context = ctx
 	o.RoundBudget = s.cfg.RoundBudget
 	o.ReproDir = s.cfg.ReproDir
+	o.RequestTag = requestIDFrom(r.Context())
+	ssp := sp.Child("solve")
+	o.Span = ssp
 
 	s.stats.AddOptimize()
 	opt, st, err := prog.SafeOptimize(o)
+	if err != nil {
+		ssp.SetError(errorKind(err))
+	}
+	ssp.End()
 	resp := s.buildResponse(prog.Name(), key, o, opt, st, explain)
 	switch {
 	case err == nil:
@@ -452,6 +514,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	o := pdce.Options{MaxRounds: breq.MaxRounds, Telemetry: breq.Telemetry}
+	// The batch's pool jobs trace as "batch.job" children of the
+	// request's root span, one per cache miss.
+	o.Span = obs.SpanFromContext(r.Context())
+	o.RequestTag = requestIDFrom(r.Context())
 	switch breq.Mode {
 	case "", "pde":
 		o.Mode = pdce.Dead
@@ -612,16 +678,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sp := obs.SpanFromContext(r.Context())
 	key := requestKey(prog, o, "")
 	if _, ok := s.cache.Get(key); ok {
 		// Already computed: answer done without consuming queue space.
 		s.stats.AddCacheHit()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: pdce.JobDone, Cached: true})
+		json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: pdce.JobDone, Cached: true, TraceID: sp.TraceID()})
 		return
 	}
 
-	state, dup, err := s.queue.Submit(key, prog.Name(), string(src), lang, o)
+	state, dup, err := s.queue.Submit(key, prog.Name(), string(src), lang, o, sp, requestIDFrom(r.Context()))
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "queue",
 			"submission not accepted: "+err.Error(), "")
@@ -629,7 +696,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: state, Duplicate: dup})
+	json.NewEncoder(w).Encode(pdce.SubmitResponse{ID: key, State: state, Duplicate: dup, TraceID: sp.TraceID()})
 }
 
 // handleResult reports one async job's state. The ack query parameter
@@ -678,8 +745,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(pdce.HealthResponse{Status: "ok"})
 }
 
-// handleMetrics serves the merged observability snapshot.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the merged observability snapshot. The format
+// query parameter selects the encoding: JSON (default) or "prom", the
+// Prometheus text exposition of the same snapshot (every numeric field
+// becomes a pdce_-prefixed gauge), so operators can scrape pdced
+// without a sidecar.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	active, queued := s.adm.Depth()
 	maxInFlight, maxQueue := s.adm.Bounds()
 	m := pdce.ServerMetrics{
@@ -698,8 +769,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := s.queue.Snapshot()
 		m.JobQueue = &snap
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(m)
+	if s.traces != nil {
+		snap := s.traces.Snapshot()
+		m.Traces = &snap
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m)
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteProm(w, "pdce", m)
+	default:
+		s.httpError(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("unknown format %q (want json or prom)", format), "")
+	}
 }
 
 // --- plumbing ---------------------------------------------------------

@@ -59,6 +59,16 @@ type walRecord struct {
 	Telemetry bool   `json:"telemetry,omitempty"`
 	Trace     bool   `json:"trace,omitempty"`
 
+	// Request-tracing identity (op=submit): the submitting request's
+	// trace ID, its enqueue span, and its Pdce-Request-Id. Replayed
+	// executions in a later process lifetime join the same trace and
+	// link back to the enqueue span. Absent in pre-tracing logs
+	// (JSON's unknown/missing-field tolerance keeps both directions
+	// compatible).
+	TraceID   string `json:"trace_id,omitempty"`
+	SpanID    string `json:"span_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+
 	// Attempt accounting (op=start/fail).
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`

@@ -202,6 +202,20 @@ type Options struct {
 	// Implies Telemetry. Tracing allocates per event; leave it off in
 	// performance measurements.
 	Trace bool
+
+	// Span, when non-nil, is the request-tracing span covering this
+	// run: the solver opens "solve.round" child spans with per-phase
+	// children under it and annotates it with round/effect counts.
+	// The optimizer never ends the span; its creator does. Nil (the
+	// default) keeps the hot path free of tracing work. Span does not
+	// participate in Options.Fingerprint — it cannot change the
+	// output.
+	Span *Span
+	// RequestTag, when non-empty, labels artifacts this run emits on
+	// failure: SafeOptimize stamps it (sanitized) into repro-bundle
+	// filenames so a failed request's Pdce-Request-Id leads straight
+	// to its bundle. Like Span it is not part of the fingerprint.
+	RequestTag string
 }
 
 // Telemetry is the observability section of a run: per-analysis solver
@@ -280,6 +294,7 @@ func (o Options) coreOptions() core.Options {
 		NoIncremental: o.NoIncremental,
 		Ctx:           o.Context,
 		RoundBudget:   o.RoundBudget,
+		Span:          o.Span,
 	}
 	if o.Telemetry || o.Trace {
 		copt.Collector = obs.NewCollector(o.Trace)
@@ -391,6 +406,13 @@ func OptimizeAllGated(programs []*Program, o Options, workers int, tk *BatchTrac
 		copt := o.coreOptions()
 		if o.Verify {
 			copt.RoundCheck = verifyRoundCheck(p.g, o.VerifyRuns)
+		}
+		if o.Span != nil {
+			// One child span per job; the pool worker that runs the
+			// job ends it (covering panic and interrupt paths).
+			js := o.Span.Child("batch.job")
+			js.SetAttr("program", p.Name())
+			copt.Span = js
 		}
 		jobs[i] = batch.Job{Name: p.Name(), Graph: p.g, Options: copt}
 	}

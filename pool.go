@@ -84,6 +84,13 @@ type PoolOptions struct {
 	// Seed seeds the backoff jitter (0 = wall clock). Fixing it makes
 	// retry schedules reproducible in tests.
 	Seed int64
+	// Traces, when set, records a client-side span tree per request —
+	// one root ("client.request"/"client.submit", service "pool") with
+	// a child per attempt and hedge — and, after a success, exports the
+	// completed trace to the winning replica's /debug/traces so server
+	// and client halves meet in one store. Nil disables tracing at the
+	// cost of one pointer check per request.
+	Traces *obs.TraceStore
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -295,7 +302,7 @@ var errRequestBudget = errors.New("pdce: per-request budget exhausted")
 // results as 200s with resp.Degraded set. Deterministic failures (bad
 // request, parse error, contained panic) are never retried — every
 // replica would answer them identically.
-func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, error) {
+func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptions) (resp *OptimizeResponse, cs CacheState, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -303,6 +310,18 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 	cands := p.candidates(key)
 	home := cands[0]
 	start := time.Now()
+	// The root span joins any caller-attached trace (e.g. a batch
+	// driver tracing its own loop) and fathers one child per wire
+	// attempt. It is nil — and every operation on it free — when
+	// PoolOptions.Traces is unset.
+	root := p.opts.Traces.StartSpan("client.request", "pool", obs.SpanFromContext(ctx).Context())
+	root.SetAttr("program", name)
+	defer func() {
+		if err != nil {
+			root.SetError(spanErrClass(ctx, err))
+			root.End()
+		}
+	}()
 	budget := &reqBudget{left: p.opts.Retry.MaxTotalRequests}
 	var lastErr error
 	for attempt := 0; attempt < p.opts.Retry.MaxAttempts; attempt++ {
@@ -321,14 +340,20 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 		if err := ctx.Err(); err != nil {
 			return nil, "", err
 		}
-		resp, cs, winner, err := p.attempt(ctx, m, p.hedgeTarget(cands, m), budget, name, source, o)
+		resp, cs, winner, err := p.attempt(ctx, m, p.hedgeTarget(cands, m), budget, root, attempt, name, source, o)
 		if err == nil {
 			p.stats.RecordLatency(time.Since(start))
 			if winner == home {
 				p.stats.AddAffinityHit()
+				root.SetAttr("affinity", "hit")
 			} else {
 				p.stats.AddAffinityMiss()
+				root.SetAttr("affinity", "miss")
 			}
+			root.SetAttr("replica", winner.base)
+			root.SetInt("attempts", int64(attempt+1))
+			root.End()
+			p.exportTrace(ctx, winner, root.TraceID())
 			return resp, cs, nil
 		}
 		if errors.Is(err, errRequestBudget) {
@@ -348,6 +373,41 @@ func (p *Pool) Optimize(ctx context.Context, name, source string, o RequestOptio
 		p.stats.AddFailover()
 	}
 	return nil, "", fmt.Errorf("pdce: all %d attempts failed: %w", p.opts.Retry.MaxAttempts, lastErr)
+}
+
+// spanErrClass maps a pool-level failure to a span error class: the
+// server's own failure kind when one came back, "canceled" for a
+// caller-abandoned request, "transport" for everything that never got
+// an HTTP answer.
+func spanErrClass(ctx context.Context, err error) string {
+	if ctx.Err() != nil {
+		return "canceled"
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		if se.Kind != "" {
+			return se.Kind
+		}
+		return "http-" + strconv.Itoa(se.Status)
+	}
+	return "transport"
+}
+
+// exportTrace best-effort pushes the pool's half of a completed trace
+// to the replica that answered, so /debug/traces/{id} there shows the
+// full client→server tree. Failures are swallowed — exporting
+// telemetry must never fail a request that already succeeded.
+func (p *Pool) exportTrace(ctx context.Context, m *member, traceID string) {
+	if p.opts.Traces == nil || traceID == "" {
+		return
+	}
+	spans := p.opts.Traces.Export(traceID)
+	if len(spans) == 0 {
+		return // sampled out locally: nothing to ship
+	}
+	ectx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer cancel()
+	m.client.PushTraces(ectx, spans)
 }
 
 // pick selects the replica for one attempt: the first healthy,
@@ -423,18 +483,21 @@ type attemptResult struct {
 // send and the hedge each draw one request from the budget; a hedge
 // the budget cannot fund is silently skipped, a primary it cannot
 // fund aborts with errRequestBudget.
-func (p *Pool) attempt(ctx context.Context, primary, hedge *member, budget *reqBudget, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, *member, error) {
+func (p *Pool) attempt(ctx context.Context, primary, hedge *member, budget *reqBudget, root *obs.Span, attemptNo int, name, source string, o RequestOptions) (*OptimizeResponse, CacheState, *member, error) {
 	if !budget.take() {
 		return nil, "", primary, errRequestBudget
 	}
+	asp := root.Child("client.attempt")
+	asp.SetAttr("replica", primary.base)
+	asp.SetInt("attempt", int64(attemptNo))
 	if hedge == nil {
-		r := p.send(ctx, primary, name, source, o)
+		r := p.send(ctx, primary, asp, name, source, o)
 		return r.resp, r.cs, r.m, r.err
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	resc := make(chan attemptResult, 2) // buffered: the losing arm must never block
-	go func() { resc <- p.send(actx, primary, name, source, o) }()
+	go func() { resc <- p.send(actx, primary, asp, name, source, o) }()
 	timer := time.NewTimer(p.hedgeDelay())
 	defer timer.Stop()
 	outstanding, hedged := 1, false
@@ -459,7 +522,9 @@ func (p *Pool) attempt(ctx context.Context, primary, hedge *member, budget *reqB
 			faultinject.Fire(faultinject.ClientHedge, hedge.base)
 			p.stats.AddHedge()
 			outstanding++
-			go func() { resc <- p.send(actx, hedge, name, source, o) }()
+			hsp := root.Child("client.hedge")
+			hsp.SetAttr("replica", hedge.base)
+			go func() { resc <- p.send(actx, hedge, hsp, name, source, o) }()
 		case <-ctx.Done():
 			return nil, "", primary, ctx.Err()
 		}
@@ -467,14 +532,22 @@ func (p *Pool) attempt(ctx context.Context, primary, hedge *member, budget *reqB
 }
 
 // send performs one attempt against one replica and applies its
-// failure side effects.
-func (p *Pool) send(ctx context.Context, m *member, name, source string, o RequestOptions) attemptResult {
+// failure side effects. sp is the attempt's span (nil when tracing is
+// off): attaching it to the context is what makes Client.Optimize
+// stamp this arm's traceparent on the wire, so the server's root span
+// becomes this attempt's child — each hedge arm parents its own
+// server-side subtree.
+func (p *Pool) send(ctx context.Context, m *member, sp *obs.Span, name, source string, o RequestOptions) attemptResult {
 	faultinject.Fire(faultinject.ClientDial, m.base)
 	p.stats.AddAttempt(m.base)
-	resp, cs, err := m.client.Optimize(ctx, name, source, o)
-	if err != nil && ctx.Err() == nil {
-		p.applyFailure(m, err)
+	resp, cs, err := m.client.Optimize(obs.ContextWithSpan(ctx, sp), name, source, o)
+	if err != nil {
+		if ctx.Err() == nil {
+			p.applyFailure(m, err)
+		}
+		sp.SetError(spanErrClass(ctx, err))
 	}
+	sp.End()
 	return attemptResult{resp: resp, cs: cs, m: m, err: err}
 }
 
@@ -562,12 +635,20 @@ func (p *Pool) Probe() {
 // the job twice). It returns the receipt together with the base URL of
 // the replica that accepted it: the queue is per-replica state, so
 // result polls must go back to that replica (PollResult does).
-func (p *Pool) Submit(ctx context.Context, name, source string, o RequestOptions) (*SubmitResponse, string, error) {
+func (p *Pool) Submit(ctx context.Context, name, source string, o RequestOptions) (resp *SubmitResponse, replica string, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	key := p.affinityKey(name, source, o)
 	cands := p.candidates(key)
+	root := p.opts.Traces.StartSpan("client.submit", "pool", obs.SpanFromContext(ctx).Context())
+	root.SetAttr("program", name)
+	defer func() {
+		if err != nil {
+			root.SetError(spanErrClass(ctx, err))
+			root.End()
+		}
+	}()
 	budget := &reqBudget{left: p.opts.Retry.MaxTotalRequests}
 	var lastErr error
 	for attempt := 0; attempt < p.opts.Retry.MaxAttempts; attempt++ {
@@ -595,10 +676,22 @@ func (p *Pool) Submit(ctx context.Context, name, source string, o RequestOptions
 		}
 		faultinject.Fire(faultinject.ClientDial, m.base)
 		p.stats.AddAttempt(m.base)
-		resp, err := m.client.Submit(ctx, name, source, o)
+		asp := root.Child("client.attempt")
+		asp.SetAttr("replica", m.base)
+		asp.SetInt("attempt", int64(attempt))
+		resp, err := m.client.Submit(obs.ContextWithSpan(ctx, asp), name, source, o)
 		if err == nil {
+			asp.End()
+			root.SetAttr("replica", m.base)
+			if resp.ID != "" {
+				root.SetAttr("job", resp.ID)
+			}
+			root.End()
+			p.exportTrace(ctx, m, root.TraceID())
 			return resp, m.base, nil
 		}
+		asp.SetError(spanErrClass(ctx, err))
+		asp.End()
 		if ctx.Err() == nil {
 			p.applyFailure(m, err)
 		}

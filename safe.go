@@ -125,7 +125,14 @@ func writeReproBundle(dir string, p *Program, o Options, v any, stack []byte) (s
 	}
 	h := fnv.New32a()
 	h.Write([]byte(content))
-	path := filepath.Join(dir, fmt.Sprintf("pdce-repro-%s-%08x.cfg", sanitizeName(p.Name()), h.Sum32()))
+	// Stamp the request tag (the serving layer's Pdce-Request-Id) into
+	// the filename so an operator can go from a failed response
+	// straight to its bundle.
+	tag := ""
+	if o.RequestTag != "" {
+		tag = "-" + sanitizeName(o.RequestTag)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("pdce-repro-%s%s-%08x.cfg", sanitizeName(p.Name()), tag, h.Sum32()))
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		return "", err
 	}

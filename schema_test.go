@@ -108,6 +108,10 @@ func validateValue(v, spec any, path string) error {
 			if _, ok := v.(bool); !ok {
 				return fmt.Errorf("%s: want bool, got %T", path, v)
 			}
+		case "object":
+			if _, ok := v.(map[string]any); !ok {
+				return fmt.Errorf("%s: want object, got %T", path, v)
+			}
 		default:
 			return fmt.Errorf("%s: bad schema: unknown type %q", path, s)
 		}
