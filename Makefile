@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke docs-check ci
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check ci
 
 all: build
 
@@ -76,6 +76,20 @@ smoke-trace:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSmoke' ./internal/chaos
 
+# Store smoke: the shared L2 persistence tier under the race detector —
+# the blobd daemon's serve loop, the server wiring (L2 backfill, lease
+# loser fetch, expiry takeover, outage degradation, peer serving, spill
+# orphan sweep), the mixed-version key-space isolation property, and
+# one fixed-seed chaos schedule with store outages, slow backends, and
+# lease owners crashing mid-solve in the fault deck.
+# (The full randomized sweep is TestChaosStoreRandomized in ./internal/chaos.)
+smoke-store:
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/pdce-blobd
+	$(GO) test -race -count=1 -run 'TestStore|TestPeerCacheServing|TestSpillOrphanSweep' ./internal/server
+	$(GO) test -race -count=1 -run 'TestStoreKeyVersionIsolation' .
+	$(GO) test -race -count=1 -run 'TestChaosStoreSmoke' ./internal/chaos
+
 # Docs drift guard: every query parameter the server parses and every
 # field /metrics emits must be documented in docs/API.md.
 docs-check:
@@ -86,5 +100,5 @@ docs-check:
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the solver-engine
 # smoke, the containment fuzz smoke, the telemetry, serving, tracing,
-# and chaos smokes, and the docs drift guard.
-ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke docs-check
+# chaos, and store smokes, and the docs drift guard.
+ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check

@@ -124,6 +124,10 @@ type BatchOptimizeResponse struct {
 // internal/obs.ServerSnapshot for field semantics.
 type ServerCounters = obs.ServerSnapshot
 
+// StoreMetrics is the shared L2 store section of /metrics; see
+// internal/obs.StoreSnapshot for field semantics.
+type StoreMetrics = obs.StoreSnapshot
+
 // CacheMetrics is the result-cache section of /metrics.
 type CacheMetrics struct {
 	// Entries/Capacity are the in-memory LRU's current and maximum
@@ -138,6 +142,9 @@ type CacheMetrics struct {
 	Evictions    int64 `json:"evictions"`
 	SpillHits    int64 `json:"spill_hits"`
 	SpillCorrupt int64 `json:"spill_corrupt"`
+	// SpillSwept counts orphaned temp files (crash litter from torn
+	// spill writes) removed at boot.
+	SpillSwept int64 `json:"spill_swept"`
 	// HitRate is (memory + spill hits)/lookups.
 	HitRate float64 `json:"hit_rate"`
 }
@@ -167,6 +174,10 @@ type ServerMetrics struct {
 	// Traces is the request-tracing section — store counters and
 	// per-stage latency aggregates — absent when tracing is disabled.
 	Traces *TraceStoreSnapshot `json:"traces,omitempty"`
+	// Store is the shared L2 blob store's section — read/publish
+	// counters and cluster-lease outcomes — absent when the server runs
+	// without a -store backend.
+	Store *StoreMetrics `json:"store,omitempty"`
 	// UptimeMS is the wall time since the server was constructed.
 	UptimeMS int64 `json:"uptime_ms"`
 }

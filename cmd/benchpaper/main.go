@@ -27,6 +27,10 @@
 //	      1, 2, and 4 replicas under a fixed per-replica service cost,
 //	      affinity hit rate, and a mid-run replica kill that must stay
 //	      invisible to callers
+//	C12 — shared persistence: a 4-replica fleet is killed and
+//	      rescheduled, and the shared L2 store (dir: and http:// vs.
+//	      the -store=off control) must serve the first post-restart
+//	      pass warm and byte-identical to the cold solve
 //
 // Usage:
 //
@@ -65,7 +69,7 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C9b, C10, C11, all")
+	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C9b, C10, C11, C12, all")
 	quick   = flag.Bool("quick", false, "smaller sweeps")
 	seeds   = flag.Int("seeds", 5, "random seeds per configuration")
 	jsonOut = flag.String("json", "", "also write every measured data point as a machine-readable report to this file ('-' = stdout)")
@@ -141,9 +145,10 @@ func main() {
 	run("C9b", expSolverModes)
 	run("C10", expServing)
 	run("C11", expCluster)
+	run("C12", expStore)
 	if *expFlag != "all" {
 		known := false
-		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C9b", "C10", "C11"} {
+		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C9b", "C10", "C11", "C12"} {
 			known = known || strings.EqualFold(*expFlag, k)
 		}
 		if !known {

@@ -1,0 +1,278 @@
+package main
+
+// C12 — shared persistence: a 4-replica fleet is killed and
+// rescheduled on empty L1 caches, and the shared L2 blob store must
+// carry the warm state across the restart.
+//
+// The experiment runs the same cold pass / kill / reschedule drill
+// under three -store configurations: off (the control — every replica
+// re-solves from scratch), dir: (replicas share one filesystem
+// directory), and http:// (replicas share one pdce-blobd daemon). With
+// a store the rescheduled fleet's first pass must be served almost
+// entirely from L2 — fleet-wide hit rate >= 0.8 — and byte-identical
+// to the cold-solve responses; without one the hit rate is exactly 0.
+// Determinism (Theorem 3.7) is what makes the blobs shareable at all:
+// any replica's solve of a key is the same bytes as any other's.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"pdce"
+	"pdce/internal/progen"
+	"pdce/internal/server"
+	"pdce/internal/store"
+)
+
+// newStoreFleet starts n replicas, each wired to its own backend from
+// mk (nil mk = no L2), and a Pool over them. Separate backend values
+// over shared storage model separate processes on one mount or one
+// blobd.
+func newStoreFleet(n, conc int, mk func() (store.Backend, error)) ([]clusterReplica, *pdce.Pool, func(), error) {
+	replicas := make([]clusterReplica, 0, n)
+	urls := make([]string, 0, n)
+	cleanup := func() {
+		for _, r := range replicas {
+			r.ts.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := server.Config{MaxInFlight: conc, MaxQueue: 4 * conc}
+		if mk != nil {
+			b, err := mk()
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			cfg.Store = b
+			cfg.LeaseTTL = 500 * time.Millisecond
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		replicas = append(replicas, clusterReplica{srv: s, ts: ts})
+		urls = append(urls, ts.URL)
+	}
+	pool, err := pdce.NewPool(urls, pdce.PoolOptions{ProbeInterval: -1, Seed: 12})
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	full := func() { pool.Close(); cleanup() }
+	return replicas, pool, full, nil
+}
+
+// killStoreFleet is the scheduler's kill: drain every replica (flushing
+// the async L2 publishes) and tear the processes down. Only the store
+// backend survives.
+func killStoreFleet(replicas []clusterReplica, pool *pdce.Pool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var firstErr error
+	for _, r := range replicas {
+		if err := r.srv.Drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	pool.Close()
+	for _, r := range replicas {
+		r.ts.Close()
+	}
+	return firstErr
+}
+
+// driveStoreFleet pushes one pass over sources through conc closed-loop
+// workers, returning each program's response bytes (for the
+// byte-identity check across the restart) and the wall time.
+func driveStoreFleet(p *pdce.Pool, sources []string, conc int) ([][]byte, time.Duration, error) {
+	bodies := make([][]byte, len(sources))
+	jobs := make(chan int, len(sources))
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, _, err := p.Optimize(context.Background(), fmt.Sprintf("c12-%02d", i), sources[i], pdce.RequestOptions{})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				b, err := json.Marshal(resp)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				bodies[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+	return bodies, time.Since(start), firstErr
+}
+
+// expStore is C12: cold-solve a corpus on a 4-replica fleet, kill and
+// reschedule the fleet, and measure how much of the first post-restart
+// pass the shared L2 store serves.
+func expStore() error {
+	fmt.Println("## C12 — shared persistence: fleet kill/reschedule recovery through the L2 store")
+	fmt.Println()
+	nProgs, stmts, conc := 48, 160, 16
+	if *quick {
+		nProgs, stmts, conc = 32, 96, 16
+	}
+	const replicas = 4
+	sources := make([]string, nProgs)
+	for i := range sources {
+		sources[i] = progen.Generate(progen.Params{Seed: int64(i), Stmts: stmts}).Format()
+	}
+	fmt.Printf("%d programs x %d statements, %d replicas, %d closed-loop clients;\n", nProgs, stmts, replicas, conc)
+	fmt.Println("fleet is drained and killed after the cold pass, then rescheduled with empty L1s")
+	fmt.Println()
+	fmt.Println("| store | cold reqs/s | restart reqs/s | fleet hit rate | re-solves | byte-identical |")
+	fmt.Println("|-------|------------:|---------------:|---------------:|----------:|----------------|")
+
+	type mode struct {
+		name string
+		mk   func() (func() (store.Backend, error), func(), error) // per-mode setup -> per-replica factory
+	}
+	modes := []mode{
+		{name: "off", mk: func() (func() (store.Backend, error), func(), error) {
+			return nil, func() {}, nil
+		}},
+		{name: "dir", mk: func() (func() (store.Backend, error), func(), error) {
+			root, err := os.MkdirTemp("", "pdce-c12-dir-")
+			if err != nil {
+				return nil, nil, err
+			}
+			factory := func() (store.Backend, error) { return store.NewDirStore(root) }
+			return factory, func() { os.RemoveAll(root) }, nil
+		}},
+		{name: "http", mk: func() (func() (store.Backend, error), func(), error) {
+			root, err := os.MkdirTemp("", "pdce-c12-blobd-")
+			if err != nil {
+				return nil, nil, err
+			}
+			ds, err := store.NewDirStore(root)
+			if err != nil {
+				os.RemoveAll(root)
+				return nil, nil, err
+			}
+			blobd := httptest.NewServer(store.Handler(ds)) // in-process pdce-blobd
+			factory := func() (store.Backend, error) {
+				return store.NewHTTPStore(blobd.URL, blobd.Client()), nil
+			}
+			return factory, func() { blobd.Close(); os.RemoveAll(root) }, nil
+		}},
+	}
+
+	hitRate := map[string]float64{}
+	for _, m := range modes {
+		factory, teardown, err := m.mk()
+		if err != nil {
+			return fmt.Errorf("%s: setup: %w", m.name, err)
+		}
+
+		// Cold fleet: every program solved once somewhere, results
+		// published to the store as a side effect of solving.
+		fleet, pool, _, err := newStoreFleet(replicas, conc, factory)
+		if err != nil {
+			teardown()
+			return fmt.Errorf("%s: cold fleet: %w", m.name, err)
+		}
+		ref, cold, err := driveStoreFleet(pool, sources, conc)
+		if err != nil {
+			killStoreFleet(fleet, pool)
+			teardown()
+			return fmt.Errorf("%s: cold pass: %w", m.name, err)
+		}
+		if err := killStoreFleet(fleet, pool); err != nil {
+			teardown()
+			return fmt.Errorf("%s: fleet kill: %w", m.name, err)
+		}
+
+		// Rescheduled fleet: fresh processes, empty L1s, same store.
+		fleet, pool, _, err = newStoreFleet(replicas, conc, factory)
+		if err != nil {
+			teardown()
+			return fmt.Errorf("%s: rescheduled fleet: %w", m.name, err)
+		}
+		warm, restart, err := driveStoreFleet(pool, sources, conc)
+		if err != nil {
+			killStoreFleet(fleet, pool)
+			teardown()
+			return fmt.Errorf("%s: restart pass: %w", m.name, err)
+		}
+		var resolves, l2Hits int64
+		for _, r := range fleet {
+			resolves += r.srv.Stats().Optimizes()
+			l2Hits += r.srv.StoreStats().L2Hits()
+		}
+		killStoreFleet(fleet, pool)
+		teardown()
+
+		identical := true
+		for i := range ref {
+			if !bytes.Equal(ref[i], warm[i]) {
+				identical = false
+				break
+			}
+		}
+		if !identical {
+			return fmt.Errorf("%s: rescheduled fleet served different bytes than the cold solve", m.name)
+		}
+		hitRate[m.name] = 1 - float64(resolves)/float64(nProgs)
+		coldRate := float64(nProgs) / cold.Seconds()
+		restartRate := float64(nProgs) / restart.Seconds()
+		fmt.Printf("| %s | %.1f | %.1f | %.2f | %d | yes |\n",
+			m.name, coldRate, restartRate, hitRate[m.name], resolves)
+		record("C12", "recovery-"+m.name, replicas, restart, map[string]float64{
+			"cold_reqs_per_s":    coldRate,
+			"restart_reqs_per_s": restartRate,
+			"fleet_hit_rate":     hitRate[m.name],
+			"re_solves":          float64(resolves),
+			"l2_hits":            float64(l2Hits),
+			"byte_identical":     1,
+		})
+	}
+
+	if hitRate["off"] != 0 {
+		return fmt.Errorf("control run without a store shows hit rate %.2f; expected 0 (results leaked across the kill)", hitRate["off"])
+	}
+	for _, m := range []string{"dir", "http"} {
+		if hitRate[m] < 0.8 {
+			return fmt.Errorf("%s store: rescheduled fleet hit rate %.2f < 0.80 — the store failed to carry warm state across the restart", m, hitRate[m])
+		}
+	}
+	fmt.Println()
+	fmt.Println("the store is the only state that survives the kill: the rescheduled fleet's")
+	fmt.Println("L1s are empty, so every served-without-solving response above was fetched")
+	fmt.Println("from L2 and is byte-identical to the original solve (content addressing +")
+	fmt.Println("Theorem 3.7 determinism make the blobs safe to share fleet-wide).")
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command pdce-blobd is the shared blob daemon of the pdced serving
+// tier: a small stdlib-only HTTP front over a checksummed blob
+// directory, serving the fleet's L2 result store when replicas have
+// no shared filesystem to mount a dir: store on.
+//
+// Usage:
+//
+//	pdce-blobd -addr localhost:8742 -dir /var/cache/pdce-store
+//
+// Endpoints:
+//
+//	PUT    /cache/{key}  store a blob (write-once: 201 created,
+//	                     200 when the key already holds one)
+//	GET    /cache/{key}  fetch a blob (404 when absent)
+//	HEAD   /cache/{key}  existence probe
+//	DELETE /cache/{key}  remove a blob (operator cleanup, lease expiry)
+//	GET    /stats        {"blobs":N,"bytes":M}
+//	GET    /healthz      liveness: "ok"
+//
+// Blobs are immutable facts keyed by content address (the optimizer
+// is deterministic, Theorem 3.7), so the daemon needs no locking
+// protocol: racing writers of one key carry identical bytes and the
+// first wins. Point a fleet at it with `pdced -store=http://host:8742`.
+//
+// The surface is fleet-internal and unauthenticated — run it on a
+// private network, like any shared cache tier.
+//
+// On SIGTERM/SIGINT the daemon finishes in-flight transfers and
+// exits 0; blobs are fsync'd before they become visible, so a crash
+// loses at most in-progress writes (swept as tmp-* orphans on the
+// next boot).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdce/internal/store"
+)
+
+var (
+	addr = flag.String("addr", "localhost:8742", "listen address")
+	dir  = flag.String("dir", "", "blob directory (required; created if missing)")
+)
+
+func main() {
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pdce-blobd: -dir is required")
+		os.Exit(2)
+	}
+	backend, err := store.NewDirStore(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdce-blobd:", err)
+		os.Exit(1)
+	}
+	if n := backend.Swept(); n > 0 {
+		fmt.Fprintf(os.Stderr, "pdce-blobd: swept %d orphaned temp files\n", n)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdce-blobd:", err)
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	if err := serve(backend, ln, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "pdce-blobd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon on ln until a signal arrives, then shuts down
+// gracefully. Factored out of main so tests can drive a real daemon
+// on an ephemeral port with a synthesized signal.
+func serve(backend store.Backend, ln net.Listener, sig <-chan os.Signal) error {
+	blobs := store.Handler(backend)
+	mux := http.NewServeMux()
+	mux.Handle("/cache/", blobs)
+	mux.Handle("GET /stats", blobs)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pdce-blobd: serving on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		ln.Close()
+		return err
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "pdce-blobd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdce/internal/store"
+)
+
+// TestServeSmoke boots the real daemon loop on an ephemeral port,
+// exercises the wire contract end to end, and shuts it down with a
+// synthesized signal — the same path a SIGTERM takes in production.
+func TestServeSmoke(t *testing.T) {
+	backend, err := store.NewDirStore(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(backend, ln, sig) }()
+	base := "http://" + ln.Addr().String()
+
+	put := func(key, body string) int {
+		req, _ := http.NewRequest(http.MethodPut, base+"/cache/"+key, strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	key := "pdce-cache-v1-blobd-smoke"
+	if code := put(key, "result bytes"); code != http.StatusCreated {
+		t.Fatalf("first PUT = %d, want 201", code)
+	}
+	// Write-once: a racing second writer is told the key already exists.
+	if code := put(key, "racing writer"); code != http.StatusOK {
+		t.Fatalf("second PUT = %d, want 200", code)
+	}
+	resp, err := http.Get(base + "/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "result bytes" {
+		t.Fatalf("GET = %d %q, want first writer's bytes", resp.StatusCode, body)
+	}
+
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, payload)
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down after signal")
+	}
+}

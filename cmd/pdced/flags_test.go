@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestOpsDocsCoverFlags is the flag half of the docs drift guard
+// (docs_test.go in internal/server covers query parameters and
+// /metrics fields): every flag pdced registers must appear backticked
+// in docs/OPERATIONS.md's reference, so adding a flag without
+// documenting it fails ci.
+func TestOpsDocsCoverFlags(t *testing.T) {
+	data, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading docs/OPERATIONS.md: %v", err)
+	}
+	doc := string(data)
+	n := 0
+	flag.VisitAll(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "test.") { // the test binary's own flags
+			return
+		}
+		n++
+		if !strings.Contains(doc, "`-"+f.Name+"`") {
+			t.Errorf("flag -%s is registered by pdced but not documented in docs/OPERATIONS.md", f.Name)
+		}
+	})
+	if n < 10 {
+		t.Fatalf("visited only %d flags — the filter no longer matches the flag set", n)
+	}
+}
+
+// TestValidateDirs pins the startup guard against directory flags that
+// alias each other: every tier sweeps or rewrites its directory, so a
+// shared path is caught before it becomes silent data loss.
+func TestValidateDirs(t *testing.T) {
+	cases := []struct {
+		name                      string
+		spill, queue, repro, spec string
+		wantErr                   string
+	}{
+		{name: "all empty"},
+		{name: "distinct", spill: "/a", queue: "/b", repro: "/c", spec: "dir:/d"},
+		{name: "spill vs queue", spill: "/x", queue: "/x", wantErr: "-queue-dir"},
+		{name: "spill vs store", spill: "/x", spec: "dir:/x", wantErr: "-store=dir:"},
+		{name: "queue vs store", queue: "/q", spec: "dir:/q", wantErr: "-store=dir:"},
+		{name: "repro vs store", repro: "/r", spec: "dir:/r", wantErr: "-store=dir:"},
+		{name: "trailing slash aliases", spill: "/x/", spec: "dir:/x", wantErr: "-store=dir:"},
+		{name: "dot segments alias", spill: "/x/y/../y", queue: "/x/y", wantErr: "-queue-dir"},
+		{name: "http store never aliases", spill: "/x", spec: "http://x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateDirs(tc.spill, tc.queue, tc.repro, tc.spec)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateDirs = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateDirs = %v, want error naming %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestConfigFromFlagsStore pins the -store flag's wiring end to end:
+// a valid spec yields a backend, a bad one refuses startup.
+func TestConfigFromFlagsStore(t *testing.T) {
+	set := func(name, val string) {
+		t.Helper()
+		f := flag.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag %s not registered", name)
+		}
+		old := f.Value.String()
+		if err := f.Value.Set(val); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Value.Set(old) })
+	}
+
+	set("store", "mem")
+	cfg, err := configFromFlags()
+	if err != nil || cfg.Store == nil {
+		t.Fatalf("configFromFlags with -store=mem: cfg.Store=%v err=%v", cfg.Store, err)
+	}
+
+	set("store", "nonsense")
+	if _, err := configFromFlags(); err == nil {
+		t.Fatal("configFromFlags accepted -store=nonsense")
+	}
+
+	set("store", "dir:"+t.TempDir())
+	set("queue-dir", "")
+	cfg, err = configFromFlags()
+	if err != nil || cfg.Store == nil {
+		t.Fatalf("configFromFlags with -store=dir: cfg.Store=%v err=%v", cfg.Store, err)
+	}
+}

@@ -19,6 +19,15 @@
 //	                           (?format=prom for Prometheus text)
 //	GET  /debug/traces         retained request traces (tail-sampled)
 //	GET  /debug/traces/{id}    one trace's span tree
+//	GET/PUT /cache/{key}       peer L2 serving (only with -peer-cache)
+//
+// A fleet shares results through the L2 store (-store): every local
+// solve is published, every local miss consults it before solving, and
+// solve ownership for cold keys is arbitrated cluster-wide through TTL
+// leases (-lease-ttl), so a thundering herd across replicas computes
+// once. Back it with a shared directory (-store=dir:/mnt/pdce), a
+// pdce-blobd daemon (-store=http://host:8742), or a sibling replica
+// running -peer-cache.
 //
 // Examples:
 //
@@ -42,10 +51,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"pdce/internal/server"
+	"pdce/internal/store"
 )
 
 var (
@@ -62,6 +74,9 @@ var (
 	queueDir     = flag.String("queue-dir", "", "directory for the durable async job queue's write-ahead log (empty = async endpoints disabled)")
 	queueRetries = flag.Int("queue-retries", 0, "attempts per async job before it is poisoned (0 = 3)")
 	queueWorkers = flag.Int("queue-workers", 0, "worker pool size for the async queue (0 = 2)")
+	storeSpec    = flag.String("store", "", "shared L2 result store: dir:/path (shared filesystem), http://host:port (pdce-blobd or a -peer-cache replica), mem (testing), or off/empty (disabled)")
+	leaseTTL     = flag.Duration("lease-ttl", 0, "cluster solve-lease lifetime: how long a crashed replica can stall a key fleet-wide (0 = 3s)")
+	peerCache    = flag.Bool("peer-cache", false, "serve this replica's own cache at GET/PUT /cache/{key} so fleet members can use each other as L2 peers")
 	traceCap     = flag.Int("trace-cap", 512, "retained request traces (0 disables tracing)")
 	traceSample  = flag.Float64("trace-sample", 1.0, "keep probability for unremarkable traces in [0,1]; error and p99-slow traces are always kept")
 	debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it off the service port and firewalled — profiles expose source paths and heap contents")
@@ -69,6 +84,11 @@ var (
 
 func main() {
 	flag.Parse()
+	cfg, err := configFromFlags()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdced:", err)
+		os.Exit(2)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdced:", err)
@@ -85,13 +105,20 @@ func main() {
 	}
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	if err := serve(configFromFlags(), ln, debugLn, sig); err != nil {
+	if err := serve(cfg, ln, debugLn, sig); err != nil {
 		fmt.Fprintln(os.Stderr, "pdced:", err)
 		os.Exit(1)
 	}
 }
 
-func configFromFlags() server.Config {
+func configFromFlags() (server.Config, error) {
+	if err := validateDirs(*spillDir, *queueDir, *reproDir, *storeSpec); err != nil {
+		return server.Config{}, err
+	}
+	backend, err := store.Open(*storeSpec)
+	if err != nil {
+		return server.Config{}, fmt.Errorf("-store: %w", err)
+	}
 	cfg := server.Config{
 		CacheEntries:    *cacheEntries,
 		SpillDir:        *spillDir,
@@ -106,11 +133,51 @@ func configFromFlags() server.Config {
 		QueueWorkers:    *queueWorkers,
 		TraceCapacity:   *traceCap,
 		TraceSample:     *traceSample,
+		Store:           backend,
+		LeaseTTL:        *leaseTTL,
+		PeerCache:       *peerCache,
 	}
 	if *traceCap <= 0 {
 		cfg.TraceCapacity = -1 // the CLI's "0 = off" maps to Config's "negative = off"
 	}
-	return cfg
+	return cfg, nil
+}
+
+// validateDirs refuses directory flags that alias each other. Each
+// tier owns its directory's file lifecycle — the spill cache sweeps
+// tmp-* orphans and quarantines corrupt .entry files, the queue
+// rewrites its WAL, a dir: store sweeps and fans out blobs — so two
+// tiers sharing one directory would sweep and quarantine each other's
+// files. Caught at startup, where the fix (distinct paths) is obvious,
+// instead of as silent data loss later.
+func validateDirs(spill, queue, repro, storeSpec string) error {
+	owners := map[string]string{}
+	claim := func(flagName, p string) error {
+		if p == "" {
+			return nil
+		}
+		cp := filepath.Clean(p)
+		if prev, ok := owners[cp]; ok {
+			return fmt.Errorf("%s and %s both point at %q; each needs its own directory", prev, flagName, cp)
+		}
+		owners[cp] = flagName
+		return nil
+	}
+	if err := claim("-spill-dir", spill); err != nil {
+		return err
+	}
+	if err := claim("-queue-dir", queue); err != nil {
+		return err
+	}
+	if err := claim("-repro-dir", repro); err != nil {
+		return err
+	}
+	if p, ok := strings.CutPrefix(storeSpec, "dir:"); ok {
+		if err := claim("-store=dir:", p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // serveDebug runs the opt-in pprof surface on its own listener, kept

@@ -24,6 +24,13 @@ import (
 // older builds can never be served.
 const cacheKeyVersion = "pdce-cache-v1"
 
+// CacheKeyVersion exposes the cache-key format version. Fleet-shared
+// stores (internal/store) prefix their keys with it so replicas built
+// against a different key format can never serve each other stale
+// results — a mixed-version fleet degrades to a cold store, not to
+// wrong answers.
+func CacheKeyVersion() string { return cacheKeyVersion }
+
 // Fingerprint digests the result-determining options into a short
 // stable string. Two Options values with equal fingerprints and
 // Cacheable() true produce identical results for the same program.

@@ -43,7 +43,64 @@ import (
 	"pdce"
 	"pdce/internal/faultinject"
 	"pdce/internal/server"
+	"pdce/internal/store"
 )
+
+// flakyBackend wraps the shared store with schedulable faults: a full
+// outage (every call errors — a dead blobd) and a slow mode (every
+// call sleeps — a saturated disk or a congested network).
+type flakyBackend struct {
+	inner  store.Backend
+	outage atomic.Bool
+	delay  atomic.Int64 // per-call sleep, ns
+}
+
+var errStoreDown = fmt.Errorf("chaos: store backend down")
+
+func (f *flakyBackend) gate() error {
+	if d := f.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if f.outage.Load() {
+		return errStoreDown
+	}
+	return nil
+}
+
+func (f *flakyBackend) Put(key string, body []byte) (bool, error) {
+	if err := f.gate(); err != nil {
+		return false, err
+	}
+	return f.inner.Put(key, body)
+}
+
+func (f *flakyBackend) Get(key string) ([]byte, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(key)
+}
+
+func (f *flakyBackend) Has(key string) (bool, error) {
+	if err := f.gate(); err != nil {
+		return false, err
+	}
+	return f.inner.Has(key)
+}
+
+func (f *flakyBackend) Delete(key string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Delete(key)
+}
+
+func (f *flakyBackend) Stats() (store.Stats, error) {
+	if err := f.gate(); err != nil {
+		return store.Stats{}, err
+	}
+	return f.inner.Stats()
+}
 
 // Config sizes one chaos run.
 type Config struct {
@@ -55,6 +112,12 @@ type Config struct {
 	// one fault.
 	Replicas int
 	Rounds   int
+	// Store wires every replica to one shared L2 blob store (with
+	// cluster solve leases on a short TTL) and adds store faults to the
+	// schedule: full backend outages, slow backends, and lease owners
+	// crashing mid-solve. The invariants do not change — the L2 tier
+	// must degrade to local solving with zero caller-visible errors.
+	Store bool
 }
 
 // replica is one cluster member: a server plus its lifecycle state.
@@ -142,6 +205,7 @@ type harness struct {
 	pool  *pdce.Pool
 	reps  []*replica
 	stall atomic.Int64
+	flaky *flakyBackend // nil unless Config.Store
 
 	acked map[string]receipt // key: replica + "/" + id
 	order []string
@@ -169,6 +233,9 @@ func Run(t *testing.T, cfg Config) {
 		drop:  make(map[string]float64),
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 		stall: &h.stall,
+	}
+	if cfg.Store {
+		h.flaky = &flakyBackend{inner: store.NewMemStore()}
 	}
 	restoreHook := faultinject.Set(func(p faultinject.Point, _ any) {
 		if p == faultinject.SolverVisit {
@@ -225,19 +292,27 @@ func Run(t *testing.T, cfg Config) {
 // fast retries, no request deadline (stalls must slow jobs down, not
 // degrade them — degraded results are legitimately non-identical), and
 // a small cache that does not survive restarts, forcing post-crash
-// recomputation through the deterministic optimizer.
-func replicaConfig(dir string) server.Config {
-	return server.Config{
+// recomputation through the deterministic optimizer. With the store
+// dimension on, every replica shares the run's flaky L2 backend on a
+// short lease TTL, so a lease owner crashing mid-solve is reclaimed
+// within a few schedule rounds.
+func (h *harness) replicaConfig(dir string) server.Config {
+	cfg := server.Config{
 		QueueDir:     dir,
 		QueueWorkers: 2,
 		QueueBackoff: time.Millisecond,
 		CacheEntries: 256,
 	}
+	if h.flaky != nil {
+		cfg.Store = h.flaky
+		cfg.LeaseTTL = 50 * time.Millisecond
+	}
+	return cfg
 }
 
 // boot starts (or restarts) a replica on its persistent queue dir.
 func (h *harness) boot(r *replica) {
-	srv, err := server.New(replicaConfig(r.dir))
+	srv, err := server.New(h.replicaConfig(r.dir))
 	if err != nil {
 		h.t.Fatalf("boot %s: %v", r.base, err)
 	}
@@ -355,10 +430,16 @@ func (h *harness) submitBurst() {
 	}
 }
 
-// fault applies this round's scheduled fault, if any.
+// fault applies this round's scheduled fault, if any. The store
+// dimension (cases 10-12) exists only when Config.Store is set, so
+// store-less runs keep their historical schedules per seed.
 func (h *harness) fault(round int) {
 	r := h.reps[h.rng.Intn(len(h.reps))]
-	switch h.rng.Intn(10) {
+	sides := 10
+	if h.flaky != nil {
+		sides = 13
+	}
+	switch h.rng.Intn(sides) {
 	case 0, 1:
 		h.crash(r)
 	case 2:
@@ -378,6 +459,17 @@ func (h *harness) fault(round int) {
 		h.stall.Store(int64(time.Duration(h.rng.Intn(2)+1) * time.Millisecond))
 	case 7:
 		h.stall.Store(0)
+	case 10:
+		// Full store outage: every L2 get, put, and lease call errors.
+		// Replicas must keep answering from L1 and local solves.
+		h.flaky.outage.Store(true)
+	case 11:
+		// Slow store: lease polls and fetches crawl, but nothing errors.
+		h.flaky.delay.Store(int64(time.Duration(h.rng.Intn(2)+1) * time.Millisecond))
+	case 12:
+		// Store heals.
+		h.flaky.outage.Store(false)
+		h.flaky.delay.Store(0)
 	default:
 		// Quiet round.
 	}
@@ -389,6 +481,10 @@ func (h *harness) fault(round int) {
 func (h *harness) heal() {
 	h.stall.Store(0)
 	h.tr.clearDrops()
+	if h.flaky != nil {
+		h.flaky.outage.Store(false)
+		h.flaky.delay.Store(0)
+	}
 	for _, r := range h.reps {
 		if _, alive := r.handler(); !alive {
 			h.boot(r)

@@ -26,3 +26,26 @@ func TestChaosRandomized(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosStoreSmoke is the fixed-seed schedule with the shared L2
+// store and cluster leases in play, wired into `make smoke-store`:
+// store outages, slow backends, and lease owners crashing mid-solve
+// join the fault deck, and the invariants must not move — acked jobs
+// complete byte-identically with zero caller-visible store errors.
+func TestChaosStoreSmoke(t *testing.T) {
+	Run(t, Config{Seed: 11, Replicas: 3, Rounds: 40, Store: true})
+}
+
+// TestChaosStoreRandomized is the store dimension's acceptance sweep:
+// 200 schedule rounds across distinct seeds on a 4-replica fleet, all
+// sharing one flaky backend. An expired lease must never lose or
+// duplicate an acked job's result.
+func TestChaosStoreRandomized(t *testing.T) {
+	seeds := []int64{21, 22, 23, 24}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			Run(t, Config{Seed: seed, Replicas: 4, Rounds: 50, Store: true})
+		})
+	}
+}

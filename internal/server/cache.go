@@ -12,6 +12,7 @@ import (
 
 	"pdce"
 	"pdce/internal/faultinject"
+	"pdce/internal/store"
 )
 
 // Cache is the content-addressed result cache: key (Program.CacheKey)
@@ -38,6 +39,7 @@ type Cache struct {
 	evictions    atomic.Int64
 	spillHits    atomic.Int64
 	spillCorrupt atomic.Int64
+	spillSwept   atomic.Int64
 }
 
 const cacheShards = 16
@@ -70,6 +72,10 @@ func NewCache(entries int, spillDir string) (*Cache, error) {
 		if err := os.MkdirAll(spillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("cache spill dir: %w", err)
 		}
+		// A crash between CreateTemp and Rename leaves tmp-* orphans
+		// that no future write ever reclaims; sweep them at boot so the
+		// directory cannot accrete litter across restarts.
+		c.spillSwept.Store(int64(store.SweepTemps(spillDir)))
 	}
 	return c, nil
 }
@@ -131,6 +137,30 @@ func (c *Cache) putMemory(key string, body []byte) {
 	}
 }
 
+// Peek returns the stored response for key without touching the
+// hit/miss counters or LRU recency: the peer-serving path, where a
+// remote replica's lookups must not skew this replica's own cache
+// statistics or working set. Spill entries are consulted but not
+// promoted into memory.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		body := el.Value.(*cacheEntry).body
+		s.mu.Unlock()
+		return body, true
+	}
+	s.mu.Unlock()
+	return c.loadSpill(key)
+}
+
+// Contains reports whether key is present, with Peek's non-counting
+// semantics.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
 // Len returns the in-memory entry count across all shards.
 func (c *Cache) Len() int {
 	n := 0
@@ -153,6 +183,7 @@ func (c *Cache) Metrics() pdce.CacheMetrics {
 		Evictions:    c.evictions.Load(),
 		SpillHits:    c.spillHits.Load(),
 		SpillCorrupt: c.spillCorrupt.Load(),
+		SpillSwept:   c.spillSwept.Load(),
 	}
 	if lookups := m.Hits + m.SpillHits + m.Misses; lookups > 0 {
 		m.HitRate = float64(m.Hits+m.SpillHits) / float64(lookups)

@@ -593,6 +593,24 @@ func (q *Queue) execute(j *qjob, xsp *obs.Span) (body []byte, degraded bool, err
 		defer q.srv.leaveFlight(j.id, call)
 	}
 
+	// Shared L2, then the cluster singleflight — the same ladder as the
+	// interactive handler: a sibling replica's published result is this
+	// job's result, and a key some replica is already solving is waited
+	// out rather than re-solved.
+	if body, ok := q.srv.l2Get(j.id, xsp); ok {
+		return body, false, nil
+	}
+	fetched, release := q.srv.l2Flight(q.ctx, j.id, xsp)
+	if fetched != nil {
+		return fetched, false, nil
+	}
+	published := false
+	defer func() {
+		if !published {
+			release()
+		}
+	}()
+
 	prog, perr := parseProgram(j.source, j.name, j.lang)
 	if perr != nil {
 		return nil, false, perr
@@ -627,6 +645,8 @@ func (q *Queue) execute(j *qjob, xsp *obs.Span) (body []byte, degraded bool, err
 			return nil, false, merr
 		}
 		q.srv.cache.Put(j.id, b)
+		q.srv.l2Put(j.id, b, xsp, release)
+		published = true
 		return b, false, nil
 	default:
 		var pe *pdce.PanicError

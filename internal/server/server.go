@@ -38,6 +38,7 @@ import (
 	"pdce"
 	"pdce/internal/faultinject"
 	"pdce/internal/obs"
+	"pdce/internal/store"
 )
 
 // Config sizes one Server. The zero value is usable: every field has
@@ -93,6 +94,28 @@ type Config struct {
 	QueueWorkers    int
 	QueueBackoff    time.Duration
 	QueueMaxBackoff time.Duration
+
+	// Store, when non-nil, is the shared L2 result store behind the
+	// in-memory cache (see store.go): local misses consult it before
+	// solving, local solves publish to it, and solve ownership for keys
+	// no replica has published is arbitrated cluster-wide through TTL
+	// leases over the same backend. StoreVersion prefixes every store
+	// key (default pdce.CacheKeyVersion()), so replicas from different
+	// builds sharing one store never serve each other's entries.
+	Store        store.Backend
+	StoreVersion string
+
+	// LeaseTTL bounds how long a crashed replica's solve lease can
+	// stall its key fleet-wide (default 3s); LeaseOwner identifies this
+	// replica in lease records (default: random per boot — a restarted
+	// replica must not inherit its predecessor's leases).
+	LeaseTTL   time.Duration
+	LeaseOwner string
+
+	// PeerCache serves this replica's own cache under the store wire
+	// contract (GET/PUT /cache/{key}), letting fleet members use each
+	// other as L2 peers with no extra infrastructure.
+	PeerCache bool
 
 	// RequestHook, when non-nil, runs at the top of every admitted
 	// /optimize request, before the cache is consulted. It is a test
@@ -151,6 +174,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceSample == 0 {
 		c.TraceSample = 1
 	}
+	if c.StoreVersion == "" {
+		c.StoreVersion = pdce.CacheKeyVersion()
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.LeaseOwner == "" {
+		c.LeaseOwner = randomOwner()
+	}
 	return c
 }
 
@@ -163,6 +195,11 @@ type Server struct {
 	stats  *obs.ServerStats
 	queue  *Queue          // nil when Config.QueueDir is empty
 	traces *obs.TraceStore // nil when Config.TraceCapacity < 0
+
+	// Shared L2 store state, nil/zero when Config.Store is nil.
+	storeStats *obs.StoreStats
+	lease      *store.Lease
+	l2wg       sync.WaitGroup // in-flight async L2 puts
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -191,6 +228,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceCapacity > 0 {
 		s.traces = obs.NewTraceStore(cfg.TraceCapacity, cfg.TraceSample, cfg.TraceSeed)
+	}
+	if cfg.Store != nil {
+		s.storeStats = &obs.StoreStats{}
+		s.lease = store.NewLease(cfg.Store, cfg.LeaseOwner, cfg.LeaseTTL, s.storeStats)
 	}
 	if cfg.QueueDir != "" {
 		if s.queue, err = newQueue(s, cfg); err != nil {
@@ -244,6 +285,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("POST /debug/traces", s.handleTraceIngest)
+	if s.cfg.PeerCache {
+		mux.HandleFunc("GET /cache/{key}", s.handlePeerGet) // also HEAD
+		mux.HandleFunc("PUT /cache/{key}", s.handlePeerPut)
+		mux.HandleFunc("GET /stats", s.handlePeerStats)
+	}
 	return s.withObservability(mux)
 }
 
@@ -288,6 +334,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.l2wg.Wait() // flush async L2 publishes before reporting drained
 		close(done)
 	}()
 	select {
@@ -411,7 +458,32 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	} else {
 		defer s.leaveFlight(key, call)
 	}
+
+	// Shared L2: another replica (or a past life of this one) may have
+	// published the result already.
+	if body, ok := s.l2Get(key, sp); ok {
+		s.stats.AddCacheHit()
+		s.serve(w, body, pdce.CacheHit)
+		return
+	}
 	s.stats.AddCacheMiss()
+
+	// Cluster singleflight: before solving, race the fleet for the
+	// solve lease. A lost race waits out the winner and serves its
+	// published result as a dedup; a won (or lease-less) race solves
+	// below, releasing the lease once the result is published.
+	fetched, release := s.l2Flight(r.Context(), key, sp)
+	if fetched != nil {
+		s.stats.AddDedup()
+		s.serve(w, fetched, pdce.CacheDedup)
+		return
+	}
+	published := false
+	defer func() {
+		if !published {
+			release()
+		}
+	}()
 
 	asp := sp.Child("server.admission")
 	if err := s.adm.Acquire(r.Context()); err != nil {
@@ -460,6 +532,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.cache.Put(key, body)
+		s.l2Put(key, body, sp, release)
+		published = true
 		s.serve(w, body, pdce.CacheMiss)
 	default:
 		var pe *pdce.PanicError
@@ -773,6 +847,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := s.traces.Snapshot()
 		m.Traces = &snap
 	}
+	m.Store = s.storeSnapshot()
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,304 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pdce"
+	"pdce/internal/obs"
+	"pdce/internal/server"
+	"pdce/internal/store"
+)
+
+// drainServer flushes in-flight work including async L2 publishes.
+func drainServer(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// optimizeOnce runs one request and returns its key, body, and cache
+// header.
+func optimizeOnce(t *testing.T, base string) (key string, body []byte, state string) {
+	t.Helper()
+	status, body, state := rawOptimize(t, base, "name=demo", demoSource)
+	if status != http.StatusOK {
+		t.Fatalf("optimize: status %d: %s", status, body)
+	}
+	var resp pdce.OptimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Key, body, state
+}
+
+// TestStoreL2Backfill is the fleet-warmth property the subsystem
+// exists for: a result solved by one replica is served by a freshly
+// booted replica sharing the store — from the store, byte-identical,
+// with no solver work.
+func TestStoreL2Backfill(t *testing.T) {
+	shared := store.NewMemStore()
+
+	a, tsA, _ := startServer(t, server.Config{Store: shared})
+	_, first, state := optimizeOnce(t, tsA.URL)
+	if state != string(pdce.CacheMiss) {
+		t.Fatalf("cold request: cache %q, want miss", state)
+	}
+	drainServer(t, a) // flush the async publish
+
+	b, tsB, _ := startServer(t, server.Config{Store: shared})
+	_, second, state := optimizeOnce(t, tsB.URL)
+	if state != string(pdce.CacheHit) {
+		t.Fatalf("restarted replica: cache %q, want hit from L2", state)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("L2 hit is not byte-identical:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if got := b.Stats().Optimizes(); got != 0 {
+		t.Errorf("restarted replica ran the optimizer %d times, want 0", got)
+	}
+	if got := b.StoreStats().L2Hits(); got != 1 {
+		t.Errorf("l2 hits = %d, want 1", got)
+	}
+
+	// The third request on the same replica is a pure L1 hit: the L2
+	// fetch backfilled memory.
+	_, _, state = optimizeOnce(t, tsB.URL)
+	if state != string(pdce.CacheHit) || b.StoreStats().L2Hits() != 1 {
+		t.Errorf("backfill did not stick: cache %q, l2 hits %d", state, b.StoreStats().L2Hits())
+	}
+
+	// The store section reaches both /metrics wire formats.
+	resp, err := http.Get(tsB.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"pdce_store_l2_hits 1", "pdce_store_blobs 1"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prom exposition is missing %q", want)
+		}
+	}
+}
+
+// TestStoreLeaseLoserFetches pins the cluster singleflight's loser
+// path: a replica that loses the solve lease serves the winner's
+// published result as a dedup instead of re-solving.
+func TestStoreLeaseLoserFetches(t *testing.T) {
+	shared := store.NewMemStore()
+
+	// Learn the key and canonical body from a throwaway replica.
+	a, tsA, _ := startServer(t, server.Config{Store: shared})
+	key, body, _ := optimizeOnce(t, tsA.URL)
+	drainServer(t, a)
+	vkey := store.VersionedKey(pdce.CacheKeyVersion(), key)
+	if err := shared.Delete(vkey); err != nil {
+		t.Fatal(err)
+	}
+
+	// An "external replica" wins the lease and holds it while the
+	// replica under test arrives cold.
+	winner := store.NewLease(shared, "external-winner", time.Minute, nil)
+	if won, err := winner.Acquire(vkey); err != nil || !won {
+		t.Fatalf("external Acquire = %v, %v", won, err)
+	}
+
+	b, tsB, _ := startServer(t, server.Config{Store: shared, LeaseTTL: time.Second})
+	done := make(chan []byte, 1)
+	go func() {
+		_, got, state := optimizeOnce(t, tsB.URL)
+		if state != string(pdce.CacheDedup) {
+			t.Errorf("loser replica: cache %q, want dedup", state)
+		}
+		done <- got
+	}()
+
+	// The winner publishes mid-poll; the loser must pick it up.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := shared.Put(vkey, body); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if !bytes.Equal(got, body) {
+			t.Fatalf("fetched result differs from the winner's:\n%s\nvs\n%s", got, body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loser never fetched the winner's result")
+	}
+	if snap := b.StoreStats().Snapshot(obs.StoreGauges{}); snap.LeaseFetches != 1 || snap.LeaseLosses != 1 {
+		t.Errorf("lease counters = %+v, want 1 loss, 1 fetch", snap)
+	}
+	if got := b.Stats().Optimizes(); got != 0 {
+		t.Errorf("loser ran the optimizer %d times, want 0", got)
+	}
+}
+
+// TestStoreLeaseExpiryTakeover pins the crashed-winner path: the
+// winner never publishes, its lease expires, and the waiting replica
+// takes the solve over locally — an acked request is never lost to a
+// dead peer.
+func TestStoreLeaseExpiryTakeover(t *testing.T) {
+	shared := store.NewMemStore()
+
+	a, tsA, _ := startServer(t, server.Config{Store: shared})
+	key, _, _ := optimizeOnce(t, tsA.URL)
+	drainServer(t, a)
+	vkey := store.VersionedKey(pdce.CacheKeyVersion(), key)
+	if err := shared.Delete(vkey); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "winner" grabs the lease with a tiny TTL and crashes: no
+	// publish, no release.
+	dead := store.NewLease(shared, "crashed-winner", 30*time.Millisecond, nil)
+	if won, err := dead.Acquire(vkey); err != nil || !won {
+		t.Fatalf("dead Acquire = %v, %v", won, err)
+	}
+
+	b, tsB, _ := startServer(t, server.Config{Store: shared, LeaseTTL: time.Second})
+	_, _, state := optimizeOnce(t, tsB.URL)
+	if state != string(pdce.CacheMiss) {
+		t.Fatalf("takeover request: cache %q, want miss (local solve)", state)
+	}
+	if got := b.Stats().Optimizes(); got != 1 {
+		t.Errorf("takeover ran the optimizer %d times, want 1", got)
+	}
+	snap := b.StoreStats().Snapshot(obs.StoreGauges{})
+	if snap.LeaseExpiries == 0 || snap.LeaseWins == 0 {
+		t.Errorf("takeover not counted: %+v", snap)
+	}
+}
+
+// downBackend fails every operation — a dead blobd or an unmounted
+// shared filesystem.
+type downBackend struct{}
+
+var errDown = errors.New("backend down")
+
+func (downBackend) Put(string, []byte) (bool, error) { return false, errDown }
+func (downBackend) Get(string) ([]byte, error)       { return nil, errDown }
+func (downBackend) Has(string) (bool, error)         { return false, errDown }
+func (downBackend) Delete(string) error              { return errDown }
+func (downBackend) Stats() (store.Stats, error)      { return store.Stats{}, errDown }
+
+// TestStoreOutageDegradesToLocal is the availability property: with
+// the backend hard down, every request still succeeds locally and the
+// failures are counted, never surfaced to callers.
+func TestStoreOutageDegradesToLocal(t *testing.T) {
+	s, ts, _ := startServer(t, server.Config{Store: downBackend{}})
+	_, _, state := optimizeOnce(t, ts.URL)
+	if state != string(pdce.CacheMiss) {
+		t.Fatalf("outage request: cache %q, want miss", state)
+	}
+	_, _, state = optimizeOnce(t, ts.URL)
+	if state != string(pdce.CacheHit) {
+		t.Fatalf("repeat under outage: cache %q, want L1 hit", state)
+	}
+	drainServer(t, s)
+	snap := s.StoreStats().Snapshot(obs.StoreGauges{})
+	if snap.GetFailures == 0 || snap.LeaseErrors == 0 || snap.PutFailures == 0 {
+		t.Errorf("outage not counted: %+v", snap)
+	}
+	if snap.Puts != 0 || snap.L2Hits != 0 {
+		t.Errorf("phantom successes under outage: %+v", snap)
+	}
+}
+
+// TestPeerCacheServing pins the peer surface: a replica with PeerCache
+// serves its own L1 under the store wire contract, so a sibling can
+// mount it as an HTTPStore — and a key carrying a different build's
+// version prefix answers 404, the mixed-version guard.
+func TestPeerCacheServing(t *testing.T) {
+	s, ts, _ := startServer(t, server.Config{PeerCache: true})
+	key, body, _ := optimizeOnce(t, ts.URL)
+	before := s.Cache().Metrics()
+
+	peer := store.NewHTTPStore(ts.URL, nil)
+	vkey := store.VersionedKey(pdce.CacheKeyVersion(), key)
+	got, err := peer.Get(vkey)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("peer Get = %v (%d bytes), want the replica's L1 entry", err, len(got))
+	}
+	if ok, err := peer.Has(vkey); err != nil || !ok {
+		t.Fatalf("peer Has = %v, %v", ok, err)
+	}
+
+	// Mixed-version guard: the same raw key under a stale version
+	// prefix does not exist on this replica.
+	if _, err := peer.Get("pdce-cache-v0-" + key); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("stale-version Get: err = %v, want ErrNotFound", err)
+	}
+
+	// A pushed entry lands in L1 under the raw key (write-once: the
+	// second push reports existing).
+	extra := store.VersionedKey(pdce.CacheKeyVersion(), strings.Repeat("cd", 32))
+	if created, err := peer.Put(extra, []byte(`{"pushed":true}`)); err != nil || !created {
+		t.Fatalf("peer Put = %v, %v", created, err)
+	}
+	if created, err := peer.Put(extra, []byte(`{"pushed":true}`)); err != nil || created {
+		t.Fatalf("second peer Put = %v, %v, want false nil", created, err)
+	}
+	if !s.Cache().Contains(strings.Repeat("cd", 32)) {
+		t.Fatal("pushed entry did not land in L1")
+	}
+
+	// Peer traffic must not skew the replica's own cache statistics.
+	after := s.Cache().Metrics()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("peer traffic moved hit/miss counters: %+v -> %+v", before, after)
+	}
+
+	if st, err := peer.Stats(); err != nil || st.Blobs == 0 {
+		t.Errorf("peer Stats = %+v, %v, want nonzero blobs", st, err)
+	}
+}
+
+// TestSpillOrphanSweep is the crash-litter regression: tmp-* files a
+// crashed writer left in the spill directory are removed at boot and
+// counted, while real entries survive.
+func TestSpillOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"tmp-111.entry", "tmp-222.entry"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A first server writes a real spill entry, then "crashes".
+	a, tsA, _ := startServer(t, server.Config{SpillDir: dir})
+	key, body, _ := optimizeOnce(t, tsA.URL)
+	if got := a.Cache().Metrics().SpillSwept; got != 2 {
+		t.Fatalf("boot sweep removed %d orphans, want 2", got)
+	}
+	for _, name := range []string{"tmp-111.entry", "tmp-222.entry"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the boot sweep", name)
+		}
+	}
+
+	// The restarted server sweeps nothing further and still serves the
+	// spilled result.
+	b, tsB, _ := startServer(t, server.Config{SpillDir: dir})
+	if got := b.Cache().Metrics().SpillSwept; got != 0 {
+		t.Fatalf("clean boot swept %d files, want 0", got)
+	}
+	_, second, state := rawOptimize(t, tsB.URL, "name=demo", demoSource)
+	if state != string(pdce.CacheHit) || !bytes.Equal(body, second) {
+		t.Fatalf("spilled result not served after restart: cache %q", state)
+	}
+	_ = key
+}

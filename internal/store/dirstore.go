@@ -1,0 +1,222 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// DirStore is the shared-filesystem Backend: one directory (typically
+// an NFS or other shared mount) holding checksummed blob files that
+// any number of replicas — possibly on different machines, possibly
+// running different pdced builds — read and write concurrently
+// without coordination.
+//
+// Layout: blobs live under 256 fanout directories keyed by a hash of
+// the blob key (root/ab/<key>.blob), so a warm fleet's store never
+// accumulates a directory large enough to make lookups or sweeps
+// slow. Each file is "sha256-hex\n" + body, the same self-verifying
+// format as the server's spill cache: a corrupted file is detected on
+// read, quarantined, and reported as a miss, never served.
+//
+// Writes are crash-safe and write-once: the blob is staged as a
+// tmp-* file in the root, fsync'd, then hard-linked to its final
+// name. Link fails if the name exists, which is exactly the
+// write-once semantics Backend requires — the first writer wins and
+// every later writer (writing identical bytes, by determinism) is a
+// silent no-op. A crash between stage and link leaves only a tmp-*
+// orphan, which SweepTemps removes at the next boot.
+type DirStore struct {
+	root string
+
+	blobs atomic.Int64
+	bytes atomic.Int64
+	// swept is how many orphaned temp files boot cleanup removed.
+	swept int64
+}
+
+// blobSuffix names blob files; headerLen is the checksum line's size.
+const (
+	blobSuffix = ".blob"
+	headerLen  = sha256.Size*2 + 1 // hex digest + '\n'
+)
+
+// NewDirStore opens (creating if needed) a directory-backed store,
+// sweeping orphaned temp files and sizing the existing contents.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: dir root: %w", err)
+	}
+	d := &DirStore{root: root}
+	d.swept = int64(SweepTemps(root))
+	// Size what a previous fleet left behind. Errors here are
+	// deliberately soft: a half-readable store still serves.
+	filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || filepath.Ext(e.Name()) != blobSuffix {
+			return nil
+		}
+		if info, ierr := e.Info(); ierr == nil {
+			d.blobs.Add(1)
+			if sz := info.Size() - headerLen; sz > 0 {
+				d.bytes.Add(sz)
+			}
+		}
+		return nil
+	})
+	return d, nil
+}
+
+// Swept reports how many orphaned temp files NewDirStore removed.
+func (d *DirStore) Swept() int64 { return d.swept }
+
+// path maps a key to its blob file. The fanout shard is a hash of the
+// key, not its prefix — keys carry a shared version prefix, so their
+// leading bytes are the least uniform part.
+func (d *DirStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.root, hex.EncodeToString(sum[:1]), key+blobSuffix)
+}
+
+// Put implements Backend: stage, fsync, link.
+func (d *DirStore) Put(key string, body []byte) (bool, error) {
+	if !ValidKey(key) {
+		return false, errInvalidKey(key)
+	}
+	final := d.path(key)
+	// Cheap fast path: racing writers carry identical bytes, so an
+	// existing file ends the call. The link below still arbitrates the
+	// true race.
+	if _, err := os.Stat(final); err == nil {
+		return false, nil
+	}
+	tmp, err := os.CreateTemp(d.root, tempPrefix+"*"+blobSuffix)
+	if err != nil {
+		return false, fmt.Errorf("store: stage blob: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	sum := sha256.Sum256(body)
+	if _, err = fmt.Fprintf(tmp, "%s\n", hex.EncodeToString(sum[:])); err == nil {
+		_, err = tmp.Write(body)
+	}
+	if err == nil {
+		err = tmp.Sync() // the blob must be durable before it is visible
+	}
+	if cerr := tmp.Close(); err != nil || cerr != nil {
+		if err == nil {
+			err = cerr
+		}
+		return false, fmt.Errorf("store: write blob: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return false, fmt.Errorf("store: fanout dir: %w", err)
+	}
+	if err := os.Link(tmp.Name(), final); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return false, nil // lost the race; the winner's bytes are ours too
+		}
+		return false, fmt.Errorf("store: publish blob: %w", err)
+	}
+	d.blobs.Add(1)
+	d.bytes.Add(int64(len(body)))
+	syncDir(filepath.Dir(final))
+	return true, nil
+}
+
+// Get implements Backend, verifying the embedded checksum. A corrupt
+// or malformed file is quarantined (removed) and reported as a miss:
+// the caller re-solves and may re-publish a good copy.
+func (d *DirStore) Get(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, ErrNotFound
+	}
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: read blob: %w", err)
+	}
+	if len(data) < headerLen || data[headerLen-1] != '\n' {
+		d.quarantine(path, 0)
+		return nil, ErrNotFound
+	}
+	body := data[headerLen:]
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != string(data[:headerLen-1]) {
+		d.quarantine(path, int64(len(body)))
+		return nil, ErrNotFound
+	}
+	return body, nil
+}
+
+func (d *DirStore) quarantine(path string, bodyLen int64) {
+	if os.Remove(path) == nil {
+		d.blobs.Add(-1)
+		d.bytes.Add(-bodyLen)
+	}
+}
+
+// Has implements Backend.
+func (d *DirStore) Has(key string) (bool, error) {
+	if !ValidKey(key) {
+		return false, nil
+	}
+	_, err := os.Stat(d.path(key))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Delete implements Backend.
+func (d *DirStore) Delete(key string) error {
+	if !ValidKey(key) {
+		return nil
+	}
+	path := d.path(key)
+	info, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	d.blobs.Add(-1)
+	if sz := info.Size() - headerLen; sz > 0 {
+		d.bytes.Add(-sz)
+	}
+	return nil
+}
+
+// Stats implements Backend from the maintained counters — no
+// directory walk on the metrics path. Counters can drift under
+// external deletion (an operator pruning the shared directory); a
+// restart resizes from disk.
+func (d *DirStore) Stats() (Stats, error) {
+	return Stats{Blobs: d.blobs.Load(), Bytes: d.bytes.Load()}, nil
+}
+
+// syncDir fsyncs a directory so a just-linked name survives power
+// loss. Best effort: some filesystems refuse directory fsync, and the
+// blob itself is already durable.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

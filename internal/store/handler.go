@@ -1,0 +1,81 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxBlobBytes caps PUT bodies on the blob wire. Cached optimize
+// responses are tens of kilobytes; the cap only exists so a confused
+// or hostile client cannot stream gigabytes into the store.
+const maxBlobBytes = 16 << 20
+
+// Handler serves a Backend over the blob wire contract (see HTTPStore
+// for the method table). cmd/pdce-blobd mounts it as its whole
+// surface; tests mount it on httptest servers to exercise HTTPStore
+// against every backend.
+func Handler(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		body, err := b.Get(key)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			http.NotFound(w, r)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(body)
+		}
+	})
+	mux.HandleFunc("PUT /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+		if err != nil {
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		created, err := b.Put(key, body)
+		switch {
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+		case created:
+			w.WriteHeader(http.StatusCreated)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	mux.HandleFunc("DELETE /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "invalid key", http.StatusBadRequest)
+			return
+		}
+		if err := b.Delete(key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		s, err := b.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s)
+	})
+	return mux
+}

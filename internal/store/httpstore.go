@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPStore is the Backend client for the blob wire contract served
+// by cmd/pdce-blobd (and, for GET/PUT, by pdced replicas running with
+// peer caching on):
+//
+//	PUT    /cache/{key}  body = blob; 201 created, 200 already stored
+//	GET    /cache/{key}  200 + body, or 404
+//	HEAD   /cache/{key}  200 or 404
+//	DELETE /cache/{key}  204 (absent keys included)
+//	GET    /stats        {"blobs":N,"bytes":M} (optional; 404 = zeros)
+//
+// The contract is fleet-internal and unauthenticated by design — run
+// it on a private network, like any shared cache tier.
+type HTTPStore struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPStore returns a client for the blob server at base (e.g.
+// "http://blobd:8742"). client nil uses a dedicated client with a 5s
+// timeout — bounded, because every call sits on the serving path's
+// miss handling and must degrade, not hang.
+func NewHTTPStore(base string, client *http.Client) *HTTPStore {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &HTTPStore{base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (h *HTTPStore) url(key string) string { return h.base + "/cache/" + key }
+
+// Put implements Backend.
+func (h *HTTPStore) Put(key string, body []byte) (bool, error) {
+	if !ValidKey(key) {
+		return false, errInvalidKey(key)
+	}
+	req, err := http.NewRequest(http.MethodPut, h.url(key), bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("store: put %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return true, nil
+	case http.StatusOK:
+		return false, nil
+	default:
+		return false, fmt.Errorf("store: put %s: %s", key, resp.Status)
+	}
+}
+
+// Get implements Backend.
+func (h *HTTPStore) Get(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, ErrNotFound
+	}
+	resp, err := h.client.Get(h.url(key))
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("store: get %s: %s", key, resp.Status)
+	}
+}
+
+// Has implements Backend.
+func (h *HTTPStore) Has(key string) (bool, error) {
+	if !ValidKey(key) {
+		return false, nil
+	}
+	resp, err := h.client.Head(h.url(key))
+	if err != nil {
+		return false, fmt.Errorf("store: head %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("store: head %s: %s", key, resp.Status)
+	}
+}
+
+// Delete implements Backend.
+func (h *HTTPStore) Delete(key string) error {
+	if !ValidKey(key) {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodDelete, h.url(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK, http.StatusNotFound:
+		return nil
+	default:
+		return fmt.Errorf("store: delete %s: %s", key, resp.Status)
+	}
+}
+
+// Stats implements Backend. A server without a /stats surface (a
+// pdced peer serving only /cache) reports zeros, not an error.
+func (h *HTTPStore) Stats() (Stats, error) {
+	resp, err := h.client.Get(h.base + "/stats")
+	if err != nil {
+		return Stats{}, fmt.Errorf("store: stats: %w", err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var s Stats
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			return Stats{}, fmt.Errorf("store: stats: %w", err)
+		}
+		return s, nil
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		return Stats{}, nil
+	default:
+		return Stats{}, fmt.Errorf("store: stats: %s", resp.Status)
+	}
+}
+
+// drain consumes and closes a response body so the transport's
+// connections are reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,81 @@
+package store
+
+import "sync"
+
+// MemStore is the in-memory Backend: a mutex-guarded map. It backs
+// tests and the chaos harness — a fleet of in-process replicas shares
+// one MemStore the way a real fleet shares a blobd — and the "mem"
+// form of the -store flag for single-process demos.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	bytes int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements Backend. The body is copied, so the caller may reuse
+// its slice.
+func (m *MemStore) Put(key string, body []byte) (bool, error) {
+	if !ValidKey(key) {
+		return false, errInvalidKey(key)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[key]; ok {
+		return false, nil
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	m.blobs[key] = cp
+	m.bytes += int64(len(cp))
+	return true, nil
+}
+
+// Get implements Backend.
+func (m *MemStore) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	b, ok := m.blobs[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+// Has implements Backend.
+func (m *MemStore) Has(key string) (bool, error) {
+	m.mu.RLock()
+	_, ok := m.blobs[key]
+	m.mu.RUnlock()
+	return ok, nil
+}
+
+// Delete implements Backend.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	if b, ok := m.blobs[key]; ok {
+		m.bytes -= int64(len(b))
+		delete(m.blobs, key)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Stats implements Backend.
+func (m *MemStore) Stats() (Stats, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Stats{Blobs: int64(len(m.blobs)), Bytes: m.bytes}, nil
+}
+
+type keyError string
+
+func (e keyError) Error() string { return "store: invalid key " + string(e) }
+
+func errInvalidKey(key string) error { return keyError(key) }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"pdce"
 	"pdce/internal/obs"
@@ -156,6 +157,44 @@ func TestQueueStatsSchema(t *testing.T) {
 	}
 	if err := validate(doc, spec, "$.queue_stats"); err != nil {
 		t.Errorf("QueueSnapshot does not match the golden queue_stats block: %v\npayload: %s", err, data)
+	}
+}
+
+// TestStoreStatsSchema pins the golden schema's store_stats block to
+// the real obs.StoreSnapshot wire shape — the "store" section of
+// pdced's /metrics — the same way TestQueueStatsSchema pins the queue:
+// every snapshot field must be declared, every declared field must be
+// emitted, so the block and the type can only drift together.
+func TestStoreStatsSchema(t *testing.T) {
+	raw, err := os.ReadFile(reportSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := schema["optional"].(map[string]any)["store_stats"].(map[string]any)
+	if !ok {
+		t.Fatal("golden schema has no store_stats block")
+	}
+
+	var stats obs.StoreStats
+	stats.AddL2Hit()
+	stats.AddL2Miss()
+	stats.AddLeaseWin()
+	stats.RecordGetLatency(time.Millisecond)
+	snap := stats.Snapshot(obs.StoreGauges{Blobs: 3, Bytes: 4096})
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(doc, spec, "$.store_stats"); err != nil {
+		t.Errorf("StoreSnapshot does not match the golden store_stats block: %v\npayload: %s", err, data)
 	}
 }
 

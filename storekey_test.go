@@ -1,0 +1,76 @@
+package pdce_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pdce"
+	"pdce/internal/store"
+)
+
+// TestStoreKeyVersionIsolation is the mixed-version fleet property,
+// companion to TestCacheKeyProperty: over 200 generated programs, a
+// shared store populated by a replica at cache-key version X never
+// serves a replica at version Y — the two builds address disjoint key
+// spaces in the same backend — while same-version replicas see every
+// entry. Every key must also survive the store's key validation, so
+// the content-address alphabet and the blob-store alphabet can never
+// drift apart unnoticed.
+func TestStoreKeyVersionIsolation(t *testing.T) {
+	const programs = 200
+	opts := pdce.Options{Mode: pdce.Dead}
+	shared := store.NewMemStore()
+	vX := pdce.CacheKeyVersion()
+	vY := vX + "-next" // the build after a key-format bump
+
+	keys := make([]string, 0, programs)
+	for seed := 0; seed < programs; seed++ {
+		p := pdce.Generate(pdce.GenParams{
+			Seed:        int64(seed),
+			Stmts:       10 + seed%60,
+			Vars:        2 + seed%6,
+			Irreducible: seed%7 == 0,
+		})
+		key := p.CacheKey(opts)
+		keys = append(keys, key)
+
+		vkey := store.VersionedKey(vX, key)
+		if !store.ValidKey(vkey) {
+			t.Fatalf("seed %d: versioned key %q rejected by the store", seed, vkey)
+		}
+		created, err := shared.Put(vkey, []byte(fmt.Sprintf("result-of-%d", seed)))
+		if err != nil || !created {
+			t.Fatalf("seed %d: Put = %v, %v", seed, created, err)
+		}
+	}
+
+	for seed, key := range keys {
+		// A same-version replica sees the entry.
+		if _, err := shared.Get(store.VersionedKey(vX, key)); err != nil {
+			t.Fatalf("seed %d: same-version Get failed: %v", seed, err)
+		}
+		// A replica from a different build must miss, never cross-read.
+		if _, err := shared.Get(store.VersionedKey(vY, key)); !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("seed %d: version-Y replica read a version-X entry (err = %v)", seed, err)
+		}
+		if store.VersionedKey(vX, key) == store.VersionedKey(vY, key) {
+			t.Fatalf("seed %d: version prefix did not change the store key", seed)
+		}
+	}
+
+	// After the Y build populates its own space, both generations
+	// coexist without collision.
+	st, _ := shared.Stats()
+	if st.Blobs != programs {
+		t.Fatalf("store holds %d blobs, want %d", st.Blobs, programs)
+	}
+	for _, key := range keys[:10] {
+		if created, err := shared.Put(store.VersionedKey(vY, key), []byte("y-result")); err != nil || !created {
+			t.Fatalf("version-Y Put = %v, %v", created, err)
+		}
+	}
+	if st, _ = shared.Stats(); st.Blobs != programs+10 {
+		t.Fatalf("mixed-version store holds %d blobs, want %d", st.Blobs, programs+10)
+	}
+}
