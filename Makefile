@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check ci
+.PHONY: all build vet test race bench bench-json bench-check bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check ci
 
 all: build
 
@@ -21,11 +21,23 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench PDEScaling -benchmem -benchtime 1x .
 
-# Machine-readable benchmark report: the reproduction experiments with
-# every measured data point written to BENCH_paper.json, diffable
-# across runs without scraping the markdown tables.
+# Measurement run: execute the experiments.json matrix at quick scale,
+# append the run (raw per-repeat records plus variance aggregates) to
+# the committed BENCH_paper.json history, and regenerate the docs from
+# it. Commit the history and doc changes together — the drift guard in
+# `make test` byte-compares the docs against a fresh render.
 bench-json:
-	$(GO) run ./cmd/benchpaper -quick -seeds 3 -json BENCH_paper.json > /dev/null
+	$(GO) run ./cmd/benchpaper -quick -json BENCH_paper.json > /dev/null
+	$(GO) run ./cmd/benchreport
+
+# Regression gate: run the smoke matrix from experiments.json against a
+# scratch copy of the history and fail if any metric regresses beyond
+# its measured variance band. Set PDCE_BENCH_TOLERANCE (e.g. 2.0) to
+# widen every band on noisy hosts — see docs/OPERATIONS.md.
+bench-check:
+	cp BENCH_paper.json /tmp/pdce-bench-check.json
+	$(GO) run ./cmd/benchpaper -smoke -json /tmp/pdce-bench-check.json -out '' > /dev/null
+	$(GO) run ./cmd/benchreport -history /tmp/pdce-bench-check.json -check
 
 # Solver-engine smoke: tiny-n scaling run pinning byte-identical
 # outputs across the dense/sparse/auto dataflow engines and asserting
@@ -91,14 +103,19 @@ smoke-store:
 	$(GO) test -race -count=1 -run 'TestChaosStoreSmoke' ./internal/chaos
 
 # Docs drift guard: every query parameter the server parses and every
-# field /metrics emits must be documented in docs/API.md.
+# field /metrics emits must be documented in docs/API.md, and the
+# generated benchmark tables in docs/BENCHMARKS.md, EXPERIMENTS.md, and
+# README.md must byte-match a fresh render of the committed
+# BENCH_paper.json history.
 docs-check:
 	$(GO) test -run 'TestDocsCover' ./internal/server
+	$(GO) test -run 'TestCommittedDocs' ./internal/bench
 
 # Full local CI: static checks, build, the whole suite under the race
 # detector (includes the incremental-vs-reference equivalence property
 # tests, the batch pipeline and fault-injection tests, and the
 # allocation budget guard), a benchmark smoke pass, the solver-engine
 # smoke, the containment fuzz smoke, the telemetry, serving, tracing,
-# chaos, and store smokes, and the docs drift guard.
-ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check
+# chaos, and store smokes, the docs drift guard, and the benchmark
+# regression gate (smoke matrix + variance-band check).
+ci: vet build race bench bench-smoke fuzz smoke-telemetry smoke-server smoke-trace chaos-smoke smoke-store docs-check bench-check

@@ -1,0 +1,80 @@
+package pdce_test
+
+import (
+	"os"
+	"testing"
+
+	"pdce/internal/obs"
+)
+
+// benchSchema pins the BENCH_paper.json history shape: run headers
+// (run_id, kind, repeats), raw per-repeat records, and the
+// variance-aware aggregate fields. Like the telemetry schema, unknown
+// keys are rejected, so the golden file and the obs.BenchRun wire shape
+// can only drift together in the same change.
+const benchSchema = "testdata/bench.schema.json"
+
+// TestBenchHistorySchema validates the committed run history against
+// the golden schema, then through the real loader.
+func TestBenchHistorySchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_paper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchema(t, "BENCH_paper.json", data, benchSchema)
+
+	h, err := obs.ParseBenchHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != obs.BenchSchemaVersion {
+		t.Errorf("schema = %d, want %d", h.Schema, obs.BenchSchemaVersion)
+	}
+	if len(h.Runs) == 0 {
+		t.Fatal("committed history has no runs")
+	}
+	// Every run the docs draw from must aggregate cleanly.
+	for i := range h.Runs {
+		run := &h.Runs[i]
+		if run.RunID == "" || run.Kind == "" {
+			t.Errorf("run %d: missing run_id or kind: %+v", i, run)
+		}
+		for _, p := range run.Records {
+			if p.Exp == "" || p.Name == "" {
+				t.Errorf("run %s: record without exp/name: %+v", run.RunID, p)
+			}
+		}
+	}
+	// The newest non-milestone run feeds the doc tables; it must exist
+	// and carry aggregates so renders don't silently recompute.
+	newest := h.Newest(nil)
+	if newest == nil {
+		t.Fatal("history has no non-milestone run")
+	}
+	if len(newest.Aggregates) == 0 {
+		t.Errorf("newest run %s has no precomputed aggregates", newest.RunID)
+	}
+}
+
+// TestBenchSchemaRoundTrip validates a freshly-built run against the
+// same golden schema, so the schema can't go stale against the writer.
+func TestBenchSchemaRoundTrip(t *testing.T) {
+	points := []obs.BenchPoint{
+		{Exp: "C1", Name: "pde", N: 64, Rep: 0, NSPerOp: 1000, Metrics: map[string]float64{"exponent": 1.4}},
+		{Exp: "C1", Name: "pde", N: 64, Rep: 1, NSPerOp: 1100, Metrics: map[string]float64{"exponent": 1.4}},
+	}
+	h := &obs.BenchHistory{Schema: obs.BenchSchemaVersion, Runs: []obs.BenchRun{{
+		RunID: "rt", Kind: "quick", Time: "2026-01-01T00:00:00Z", Quick: true,
+		Seeds: 3, Repeats: 2, GOMAXPROCS: 1, Exps: []string{"C1"},
+		Records: points, Aggregates: obs.AggregateBench(points),
+	}}}
+	path := t.TempDir() + "/hist.json"
+	if err := obs.SaveBenchHistory(path, h); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchema(t, "round-trip history", data, benchSchema)
+}

@@ -32,11 +32,24 @@
 //	      the -store=off control) must serve the first post-restart
 //	      pass warm and byte-identical to the cold solve
 //
+// The experiment matrix — sweeps, seeds, repeats, workload knobs per
+// experiment — is declared in experiments.json (see
+// docs/EXPERIMENTS-HOWTO.md); a missing file falls back to built-in
+// defaults matching the historical hardcoded sweeps. Each invocation
+// is one run: every selected experiment executes its configured number
+// of repeats, per-repeat logs land in paper_runs/<run-id>/, and the
+// run (raw per-repeat records plus variance-aware aggregates) is
+// appended to the BENCH_paper.json history named by -json, which
+// cmd/benchreport turns into the reproduction docs and gates for
+// regressions.
+//
 // Usage:
 //
-//	benchpaper            # run everything
-//	benchpaper -exp C1    # one experiment
-//	benchpaper -quick     # smaller sweeps (CI-friendly)
+//	benchpaper                          # run everything
+//	benchpaper -exp C1,C9b              # a subset
+//	benchpaper -quick                   # smaller sweeps (CI-friendly)
+//	benchpaper -smoke                   # the bench-check gate matrix
+//	benchpaper -json BENCH_paper.json   # append the run to the history
 package main
 
 import (
@@ -47,6 +60,7 @@ import (
 	"math"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -57,11 +71,13 @@ import (
 	"pdce/internal/analysis"
 	"pdce/internal/baseline"
 	"pdce/internal/batch"
+	"pdce/internal/bench"
 	"pdce/internal/cfg"
 	"pdce/internal/core"
 	"pdce/internal/dataflow"
 	"pdce/internal/figures"
 	"pdce/internal/hoist"
+	"pdce/internal/obs"
 	"pdce/internal/progen"
 	"pdce/internal/server"
 	"pdce/internal/ssa"
@@ -69,97 +85,171 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C9b, C10, C11, C12, all")
-	quick   = flag.Bool("quick", false, "smaller sweeps")
-	seeds   = flag.Int("seeds", 5, "random seeds per configuration")
-	jsonOut = flag.String("json", "", "also write every measured data point as a machine-readable report to this file ('-' = stdout)")
+	expFlag     = flag.String("exp", "all", "comma-separated experiments to run: F, C1, C2, C3, C4, C5, C6, C7, C8, C9, C9b, C10, C11, C12, all")
+	quick       = flag.Bool("quick", false, "smaller sweeps")
+	smoke       = flag.Bool("smoke", false, "run the smoke matrix from experiments.json (the bench-check gate's scale; implies -quick)")
+	seedsFlag   = flag.Int("seeds", 0, "random seeds per configuration (0 = experiments.json)")
+	repeatsFlag = flag.Int("repeats", 0, "repeats per experiment (0 = experiments.json)")
+	configPath  = flag.String("config", "experiments.json", "experiment matrix config (missing file = built-in defaults)")
+	jsonOut     = flag.String("json", "", "append this run to the BENCH_paper.json history at this path ('-' = print the run to stdout)")
+	outRoot     = flag.String("out", "paper_runs", "root directory for per-run logs and run.json ('' = keep nothing on disk)")
+	runIDFlag   = flag.String("run-id", "", "run id (default: UTC timestamp)")
 )
 
-// benchRecord is one measured data point of one experiment; the -json
-// report is the flat list of them, so downstream tooling can diff runs
-// without scraping the markdown tables.
-type benchRecord struct {
-	Exp     string             `json:"exp"`
-	Name    string             `json:"name"`
-	N       int                `json:"n,omitempty"`
-	NSPerOp int64              `json:"ns_per_op,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+// Run-loop state shared with the experiment functions: the loaded
+// matrix, the experiment currently executing, and its repeat index.
+var (
+	matrix  *bench.Matrix
+	cur     *bench.ExpConfig
+	curRep  int
+	records []obs.BenchPoint
+)
 
-// benchReport is the -json payload: the run configuration plus every
-// record, in experiment order.
-type benchReport struct {
-	Quick      bool          `json:"quick"`
-	Seeds      int           `json:"seeds"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Records    []benchRecord `json:"records"`
-}
-
-var records []benchRecord
-
-// record captures one data point for the -json report. d is the
+// record captures one data point of the current repeat. d is the
 // measured wall time where the experiment has one (0 otherwise).
 func record(exp, name string, n int, d time.Duration, metrics map[string]float64) {
-	records = append(records, benchRecord{Exp: exp, Name: name, N: n, NSPerOp: int64(d), Metrics: metrics})
+	records = append(records, obs.BenchPoint{
+		Exp: exp, Name: name, N: n, Rep: curRep, NSPerOp: int64(d), Metrics: metrics,
+	})
 }
 
-func writeBenchJSON(path string) error {
-	rep := benchReport{Quick: *quick, Seeds: *seeds, GOMAXPROCS: runtime.GOMAXPROCS(0), Records: records}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
+// experiment binds a matrix id to its runner; registry order is the
+// execution and documentation order.
+type experiment struct {
+	id string
+	fn func() error
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"F", expFigures},
+		{"C1", func() error { return expScaling(core.ModeDead, "C1", "pde") }},
+		{"C2", expPFERatio},
+		{"C3", expGrowth},
+		{"C4", expRounds},
+		{"C5", expPower},
+		{"C6", expSafety},
+		{"C7", expHoist},
+		{"C8", expPressure},
+		{"C9", expBatch},
+		{"C9b", expSolverModes},
+		{"C10", expServing},
+		{"C11", expCluster},
+		{"C12", expStore},
 	}
-	data = append(data, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
+}
+
+// selected resolves -exp / -smoke into the set of experiment ids.
+func selected() (map[string]bool, error) {
+	known := map[string]string{}
+	for _, e := range registry() {
+		known[strings.ToLower(e.id)] = e.id
 	}
-	return os.WriteFile(path, data, 0o644)
+	want := map[string]bool{}
+	var list []string
+	switch {
+	// An explicit -exp narrows the smoke matrix too: -smoke keeps its
+	// scale (sizes/seeds/repeats) either way.
+	case *smoke && *expFlag == "all":
+		list = matrix.Smoke.Exps
+	case *expFlag == "all":
+		for _, e := range registry() {
+			want[e.id] = true
+		}
+		return want, nil
+	default:
+		list = strings.Split(*expFlag, ",")
+	}
+	for _, id := range list {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		canon, ok := known[strings.ToLower(id)]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		want[canon] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return want, nil
 }
 
 func main() {
 	flag.Parse()
-	// A failing experiment does not abort the process: its partial
-	// tables stay printed, the failure is reported, and the remaining
-	// experiments still run. The single exit path below turns any
-	// failure into a non-zero status.
-	var failed []string
-	run := func(name string, f func() error) {
-		if *expFlag == "all" || strings.EqualFold(*expFlag, name) {
-			if err := f(); err != nil {
-				failed = append(failed, name)
-				fmt.Fprintf(os.Stderr, "benchpaper: %s: %v (continuing)\n", name, err)
-			}
-		}
+	var err error
+	matrix, err = bench.LoadMatrix(*configPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpaper: %v\n", err)
+		os.Exit(1)
 	}
-	run("F", expFigures)
-	run("C1", func() error { return expScaling(core.ModeDead, "C1", "pde") })
-	run("C2", expPFERatio)
-	run("C3", expGrowth)
-	run("C4", expRounds)
-	run("C5", expPower)
-	run("C6", expSafety)
-	run("C7", expHoist)
-	run("C8", expPressure)
-	run("C9", expBatch)
-	run("C9b", expSolverModes)
-	run("C10", expServing)
-	run("C11", expCluster)
-	run("C12", expStore)
-	if *expFlag != "all" {
-		known := false
-		for _, k := range []string{"F", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C9b", "C10", "C11", "C12"} {
-			known = known || strings.EqualFold(*expFlag, k)
-		}
-		if !known {
-			fmt.Fprintf(os.Stderr, "benchpaper: unknown experiment %q\n", *expFlag)
+	if *smoke {
+		*quick = true
+	}
+	want, err := selected()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpaper: %v\n", err)
+		os.Exit(1)
+	}
+	runID := *runIDFlag
+	if runID == "" {
+		runID = bench.RunStamp(time.Now())
+	}
+	runDir := ""
+	if *outRoot != "" {
+		runDir = filepath.Join(*outRoot, runID)
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchpaper: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" {
-		// Partial records from a failed experiment are still written;
+	// A failing experiment does not abort the process: its partial
+	// tables and records stay, the failure is reported, and the
+	// remaining experiments still run. The single exit path below
+	// turns any failure into a non-zero status.
+	var failed []string
+	for _, e := range registry() {
+		if !want[e.id] {
+			continue
+		}
+		cur = matrix.Exp(e.id)
+		reps := nrepeats()
+		for rep := 0; rep < reps; rep++ {
+			curRep = rep
+			logPath := ""
+			if runDir != "" {
+				logPath = filepath.Join(runDir, fmt.Sprintf("%s_r%02d.log", e.id, rep))
+			}
+			// With -json - the run record owns stdout; the tables still
+			// land in the per-repeat logs when -out is set.
+			if err := runCaptured(logPath, rep == 0 && *jsonOut != "-", e.fn); err != nil {
+				failed = append(failed, e.id)
+				fmt.Fprintf(os.Stderr, "benchpaper: %s (repeat %d): %v (continuing)\n", e.id, rep, err)
+				break
+			}
+		}
+	}
+	run := buildRun(runID, failed)
+	if runDir != "" {
+		if err := writeRunJSON(filepath.Join(runDir, "run.json"), run); err != nil {
+			fmt.Fprintf(os.Stderr, "benchpaper: run.json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *jsonOut == "-":
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchpaper: -json: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	case *jsonOut != "":
+		// Partial records from a failed experiment are still appended;
 		// the exit status reports the failure either way.
-		if err := writeBenchJSON(*jsonOut); err != nil {
+		if err := obs.AppendBenchRun(*jsonOut, run); err != nil {
 			fmt.Fprintf(os.Stderr, "benchpaper: -json: %v\n", err)
 			os.Exit(1)
 		}
@@ -171,11 +261,149 @@ func main() {
 	}
 }
 
-func sizes() []int {
+// buildRun assembles this invocation's BenchRun: resolved config,
+// every raw point, and the variance aggregates across repeats.
+func buildRun(runID string, failed []string) obs.BenchRun {
+	kind := "full"
 	if *quick {
-		return []int{64, 128, 256, 512}
+		kind = "quick"
 	}
-	return []int{64, 128, 256, 512, 1024, 2048, 4096}
+	if *smoke {
+		kind = "smoke"
+	}
+	if records == nil {
+		records = []obs.BenchPoint{}
+	}
+	run := obs.BenchRun{
+		RunID:      runID,
+		Kind:       kind,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Quick:      *quick,
+		Seeds:      globalSeeds(),
+		Repeats:    globalRepeats(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+		Aggregates: obs.AggregateBench(records),
+	}
+	if len(failed) > 0 {
+		run.Note = "failed: " + strings.Join(failed, ", ")
+	}
+	for _, p := range records {
+		if len(run.Exps) == 0 || run.Exps[len(run.Exps)-1] != p.Exp {
+			run.Exps = append(run.Exps, p.Exp)
+		}
+	}
+	return run
+}
+
+func writeRunJSON(path string, run obs.BenchRun) error {
+	data, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runCaptured runs one experiment repeat with os.Stdout redirected
+// into its per-repeat log. The first repeat's output is echoed to the
+// real stdout afterwards, so the interactive table flow is unchanged;
+// later repeats only measure.
+func runCaptured(logPath string, echo bool, f func() error) error {
+	if logPath == "" {
+		if echo {
+			return f()
+		}
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			return f()
+		}
+		old := os.Stdout
+		os.Stdout = devnull
+		runErr := f()
+		os.Stdout = old
+		devnull.Close()
+		return runErr
+	}
+	logf, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	old := os.Stdout
+	os.Stdout = logf
+	runErr := f()
+	os.Stdout = old
+	closeErr := logf.Close()
+	if echo {
+		if data, err := os.ReadFile(logPath); err == nil {
+			os.Stdout.Write(data)
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return closeErr
+}
+
+// sizes is the current experiment's program-size sweep.
+func sizes() []int {
+	if *smoke && len(matrix.Smoke.Sizes) > 0 {
+		return matrix.Smoke.Sizes
+	}
+	return matrix.Sizes(cur, *quick)
+}
+
+// nseeds is the current experiment's seeds-per-configuration count.
+func nseeds() int {
+	if *seedsFlag > 0 {
+		return *seedsFlag
+	}
+	if *smoke && matrix.Smoke.Seeds > 0 {
+		return matrix.Smoke.Seeds
+	}
+	return matrix.Seeds(cur)
+}
+
+// nrepeats is how many times the current experiment runs this
+// invocation.
+func nrepeats() int {
+	if *repeatsFlag > 0 {
+		return *repeatsFlag
+	}
+	if *smoke && matrix.Smoke.Repeats > 0 {
+		return matrix.Smoke.Repeats
+	}
+	return matrix.Repeats(cur)
+}
+
+// globalSeeds/globalRepeats are the run-level defaults recorded in the
+// run header (individual experiments may override via the matrix).
+func globalSeeds() int {
+	if *seedsFlag > 0 {
+		return *seedsFlag
+	}
+	if *smoke && matrix.Smoke.Seeds > 0 {
+		return matrix.Smoke.Seeds
+	}
+	return matrix.Defaults.Seeds
+}
+
+func globalRepeats() int {
+	if *repeatsFlag > 0 {
+		return *repeatsFlag
+	}
+	if *smoke && matrix.Smoke.Repeats > 0 {
+		return matrix.Smoke.Repeats
+	}
+	if matrix.Defaults.Repeats > 0 {
+		return matrix.Defaults.Repeats
+	}
+	return 1
+}
+
+// cfgInt resolves a workload knob of the current experiment against
+// its built-in full/quick defaults.
+func cfgInt(key string, full, quickDef int) int {
+	return cur.Param(key, *quick, full, quickDef)
 }
 
 // --- F: figures -------------------------------------------------------
@@ -254,7 +482,7 @@ func expScaling(mode core.Mode, id, label string) error {
 		var durs []time.Duration
 		var rounds int
 		blocks := 0
-		for s := 0; s < *seeds; s++ {
+		for s := 0; s < nseeds(); s++ {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n})
 			blocks = g.NumNodes()
 			d, st, err := timeTransform(g, mode)
@@ -269,15 +497,20 @@ func expScaling(mode core.Mode, id, label string) error {
 		ns = append(ns, n)
 		ts = append(ts, med)
 		fmt.Printf("| %d | %d | %v | %.1f | %.1f ns |\n",
-			n, blocks, med.Round(time.Microsecond), float64(rounds)/float64(*seeds),
+			n, blocks, med.Round(time.Microsecond), float64(rounds)/float64(nseeds()),
 			float64(med.Nanoseconds())/float64(n))
 		record(id, label+"-scaling", n, med, map[string]float64{
-			"blocks": float64(blocks), "rounds_mean": float64(rounds) / float64(*seeds),
+			"blocks": float64(blocks), "rounds_mean": float64(rounds) / float64(nseeds()),
 		})
 	}
 	exp := fitExponent(ns, ts)
 	fmt.Printf("\nfitted exponent: time ~ n^%.2f (paper bound for realistic structured programs: O(n^2))\n\n", exp)
-	record(id, label+"-fit", 0, 0, map[string]float64{"exponent": exp})
+	// A fit over fewer than three sizes has no residual — it is not a
+	// measurement — so the smoke sweep records no exponent and the gate
+	// never compares 2-point fits against real sweeps.
+	if len(ns) >= 3 {
+		record(id, label+"-fit", 0, 0, map[string]float64{"exponent": exp})
+	}
 	return nil
 }
 
@@ -317,7 +550,7 @@ func expGrowth() error {
 	fmt.Println("|----------:|---------:|--------:|---------------:|")
 	for _, n := range sizes() {
 		var sum, max, shrink float64
-		for s := 0; s < *seeds; s++ {
+		for s := 0; s < nseeds(); s++ {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n})
 			_, st, err := core.PDE(g)
 			if err != nil {
@@ -331,9 +564,9 @@ func expGrowth() error {
 			shrink += float64(st.FinalStmts) / float64(st.OriginalStmts)
 		}
 		fmt.Printf("| %d | %.3f | %.3f | %.3f |\n",
-			n, sum/float64(*seeds), max, shrink/float64(*seeds))
+			n, sum/float64(nseeds()), max, shrink/float64(nseeds()))
 		record("C3", "growth", n, 0, map[string]float64{
-			"w_mean": sum / float64(*seeds), "w_max": max, "shrink": shrink / float64(*seeds),
+			"w_mean": sum / float64(nseeds()), "w_max": max, "shrink": shrink / float64(nseeds()),
 		})
 	}
 	fmt.Println()
@@ -351,7 +584,7 @@ func expRounds() error {
 	fmt.Println("|----------:|-------------:|------------:|-------------:|----:|")
 	for _, n := range sizes() {
 		var sumD, maxD, sumF float64
-		for s := 0; s < *seeds; s++ {
+		for s := 0; s < nseeds(); s++ {
 			g := progen.Generate(progen.Params{Seed: int64(s), Stmts: n, LoopProb: 0.15, BranchProb: 0.25})
 			_, stD, err := core.PDE(g)
 			if err != nil {
@@ -368,10 +601,10 @@ func expRounds() error {
 			sumF += float64(stF.Rounds)
 		}
 		fmt.Printf("| %d | %.1f | %.0f | %.1f | %.4f |\n",
-			n, sumD/float64(*seeds), maxD, sumF/float64(*seeds),
-			sumD/float64(*seeds)/float64(n))
+			n, sumD/float64(nseeds()), maxD, sumF/float64(nseeds()),
+			sumD/float64(nseeds())/float64(n))
 		record("C4", "rounds", n, 0, map[string]float64{
-			"r_pde_mean": sumD / float64(*seeds), "r_pde_max": maxD, "r_pfe_mean": sumF / float64(*seeds),
+			"r_pde_mean": sumD / float64(nseeds()), "r_pde_max": maxD, "r_pfe_mean": sumF / float64(nseeds()),
 		})
 	}
 	fmt.Println()
@@ -416,7 +649,7 @@ func expPower() error {
 				}
 			}
 		} else {
-			for s := 0; s < *seeds; s++ {
+			for s := 0; s < nseeds(); s++ {
 				graphs = append(graphs, w.gen(int64(s)))
 			}
 		}
@@ -484,7 +717,7 @@ func expSafety() error {
 			f, _ := figures.ByNum(5)
 			graphs = []*cfg.Graph{f.Graph()}
 		} else {
-			for s := 0; s < *seeds*2; s++ {
+			for s := 0; s < nseeds()*2; s++ {
 				p := c.p
 				p.Seed = int64(s)
 				graphs = append(graphs, progen.Generate(p))
@@ -537,7 +770,7 @@ func expHoist() error {
 			workloads[0].graphs = append(workloads[0].graphs, f.Graph())
 		}
 	}
-	for s := 0; s < *seeds; s++ {
+	for s := 0; s < nseeds(); s++ {
 		workloads[1].graphs = append(workloads[1].graphs,
 			progen.Generate(progen.Params{Seed: int64(s), Stmts: 100, Vars: 5, BranchProb: 0.3}))
 	}
@@ -604,10 +837,8 @@ func expBatch() error {
 
 	fmt.Println("### batch throughput (worker pool over independent programs)")
 	fmt.Println()
-	nProgs, stmts := 32, 256
-	if *quick {
-		nProgs, stmts = 12, 128
-	}
+	nProgs := cfgInt("programs", 32, 12)
+	stmts := cfgInt("stmts", 256, 128)
 	jobs := make([]batch.Job, nProgs)
 	for i := range jobs {
 		jobs[i] = batch.Job{
@@ -716,11 +947,9 @@ func expSolverModes() error {
 func expServing() error {
 	fmt.Println("## C10 — serving throughput: cold vs. warm content-addressed cache")
 	fmt.Println()
-	nProgs, stmts := 16, 192
-	warmReps := 5
-	if *quick {
-		nProgs, stmts, warmReps = 8, 96, 3
-	}
+	nProgs := cfgInt("programs", 16, 8)
+	stmts := cfgInt("stmts", 192, 96)
+	warmReps := cfgInt("warm_reps", 5, 3)
 	sources := make([]string, nProgs)
 	for i := range sources {
 		sources[i] = progen.Generate(progen.Params{Seed: int64(i), Stmts: stmts}).Format()
@@ -729,7 +958,7 @@ func expServing() error {
 		nProgs, stmts, warmReps, runtime.GOMAXPROCS(0))
 	fmt.Println("| clients | cold reqs/s | warm reqs/s | warm/cold |")
 	fmt.Println("|--------:|------------:|------------:|----------:|")
-	for _, conc := range []int{1, 4, 16} {
+	for _, conc := range cur.ClientsOr([]int{1, 4, 16}) {
 		// A fresh server per concurrency level keeps every cold pass
 		// genuinely cold.
 		// Default cache capacity: the LRU is sharded, so a capacity
@@ -859,7 +1088,7 @@ func expPressure() error {
 	for _, c := range configs {
 		var mb, ma float64
 		pb, pa := 0, 0
-		for s := 0; s < *seeds; s++ {
+		for s := 0; s < nseeds(); s++ {
 			params := c.p
 			params.Seed = int64(s)
 			g := progen.Generate(params)
@@ -878,7 +1107,7 @@ func expPressure() error {
 				pa = after.Max
 			}
 		}
-		k := float64(*seeds)
+		k := float64(nseeds())
 		fmt.Printf("| %s | %.2f | %.2f | %d | %d |\n", c.name, mb/k, ma/k, pb, pa)
 		record("C8", c.name, 0, 0, map[string]float64{
 			"mean_before": mb / k, "mean_after": ma / k,

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdce/internal/obs"
+)
+
+// TestCommittedDocs is the docs drift guard: every generated table in
+// the committed reproduction docs must byte-match a fresh render of the
+// committed BENCH_paper.json history. A benchmark run without the
+// matching `go run ./cmd/benchreport` regeneration (or a hand edit
+// inside a generated block) fails here.
+func TestCommittedDocs(t *testing.T) {
+	root := "../.."
+	h, err := obs.LoadBenchHistory(filepath.Join(root, "BENCH_paper.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) == 0 {
+		t.Fatal("committed history is empty")
+	}
+	m, err := LoadMatrix(filepath.Join(root, "experiments.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRenderer(h, m)
+
+	want := r.BenchmarksDoc()
+	got, err := os.ReadFile(filepath.Join(root, "docs", "BENCHMARKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("docs/BENCHMARKS.md is stale: run `go run ./cmd/benchreport`")
+	}
+
+	blocks := r.Blocks()
+	for _, name := range []string{"EXPERIMENTS.md", "README.md"} {
+		doc, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ListGenerated(doc)) == 0 {
+			t.Errorf("%s declares no generated blocks", name)
+			continue
+		}
+		next, changed, err := SpliceAll(doc, blocks)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if changed {
+			t.Errorf("%s generated blocks are stale: run `go run ./cmd/benchreport`", name)
+		}
+		_ = next
+	}
+}

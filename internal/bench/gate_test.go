@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pdce/internal/obs"
+)
+
+// mkRun builds a quick run measuring C1/pde at n=64 with the given
+// per-repeat wall times and a perfect "ok" metric.
+func mkRun(id string, ns ...int64) obs.BenchRun {
+	var pts []obs.BenchPoint
+	for rep, v := range ns {
+		pts = append(pts, obs.BenchPoint{
+			Exp: "C1", Name: "pde", N: 64, Rep: rep, NSPerOp: v,
+			Metrics: map[string]float64{"ok": 1},
+		})
+	}
+	return obs.BenchRun{
+		RunID: id, Kind: "quick", Quick: true, Repeats: len(ns),
+		Records: pts, Aggregates: obs.AggregateBench(pts),
+	}
+}
+
+func baselineHistory(extra ...obs.BenchRun) *obs.BenchHistory {
+	h := &obs.BenchHistory{Schema: obs.BenchSchemaVersion, Runs: []obs.BenchRun{
+		mkRun("b1", 900, 950),
+		mkRun("b2", 1000, 1050),
+		mkRun("b3", 1100, 1000),
+	}}
+	h.Runs = append(h.Runs, extra...)
+	return h
+}
+
+// TestGateWithinNoisePasses is half the acceptance criterion: jitter
+// inside the measured variance band must not fail the gate.
+func TestGateWithinNoisePasses(t *testing.T) {
+	// Baseline medians 900/1000/1050 → center 1000; the time floor
+	// (0.60·1000 = 600) dominates the MAD band, so 1500 is in-band.
+	h := baselineHistory(mkRun("new", 1500, 1450))
+	res, err := Check(h, CheckConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run != "new" || len(res.Baselines) != 3 {
+		t.Fatalf("run=%s baselines=%v", res.Run, res.Baselines)
+	}
+	if res.Checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("within-noise jitter flagged: %v", res.Regressions)
+	}
+}
+
+// TestGateOutOfBandFails is the other half: a real slowdown beyond the
+// band must fail.
+func TestGateOutOfBandFails(t *testing.T) {
+	h := baselineHistory(mkRun("new", 5000, 5100))
+	res, err := Check(h, CheckConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the ns_per_op one", res.Regressions)
+	}
+	r := res.Regressions[0]
+	if r.Exp != "C1" || r.Metric != obs.BenchTimeMetric || r.Direction != "lower" {
+		t.Errorf("bad regression %+v", r)
+	}
+	if !strings.Contains(r.String(), "C1/pde n=64") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+// TestGateHigherIsBetter flags a drop in a higher-is-better metric.
+func TestGateHigherIsBetter(t *testing.T) {
+	bad := mkRun("new", 1000, 1000)
+	for i := range bad.Records {
+		bad.Records[i].Metrics["ok"] = 0
+	}
+	bad.Aggregates = obs.AggregateBench(bad.Records)
+	h := baselineHistory(bad)
+	res, err := Check(h, CheckConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Regressions {
+		if r.Metric == "ok" && r.Direction == "higher" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ok-metric drop not flagged: %v", res.Regressions)
+	}
+}
+
+// TestGateToleranceWidensBands: the noisy-host override knob.
+func TestGateToleranceWidensBands(t *testing.T) {
+	h := baselineHistory(mkRun("new", 5000, 5100))
+	res, err := Check(h, CheckConfig{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("tolerance 10 still flags: %v", res.Regressions)
+	}
+}
+
+// TestGateDirectionsOverride disables gating for a metric via config.
+func TestGateDirectionsOverride(t *testing.T) {
+	h := baselineHistory(mkRun("new", 5000, 5100))
+	res, err := Check(h, CheckConfig{Directions: map[string]string{obs.BenchTimeMetric: "skip"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("skipped metric still flagged: %v", res.Regressions)
+	}
+}
+
+// TestGateBaselineSelection: milestone runs and different-scale runs
+// never serve as baselines; without any comparable baseline nothing is
+// checked.
+func TestGateBaselineSelection(t *testing.T) {
+	mile := mkRun("m0", 1)
+	mile.Kind = "milestone"
+	full := mkRun("full-run", 100000)
+	full.Quick, full.Kind = false, "full"
+	h := &obs.BenchHistory{Schema: obs.BenchSchemaVersion, Runs: []obs.BenchRun{
+		mile, full, mkRun("new", 5000),
+	}}
+	res, err := Check(h, CheckConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baselines) != 0 || res.Checked != 0 || len(res.Regressions) != 0 {
+		t.Fatalf("gate used incomparable baselines: %+v", res)
+	}
+
+	// Window caps how far back baselines reach.
+	var runs []obs.BenchRun
+	for _, id := range []string{"a", "b", "c", "d"} {
+		runs = append(runs, mkRun(id, 1000))
+	}
+	runs = append(runs, mkRun("new", 1000))
+	h = &obs.BenchHistory{Schema: obs.BenchSchemaVersion, Runs: runs}
+	res, err = Check(h, CheckConfig{Window: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baselines) != 2 || res.Baselines[0] != "d" || res.Baselines[1] != "c" {
+		t.Fatalf("window: baselines = %v", res.Baselines)
+	}
+}
+
+func TestGateEmptyHistory(t *testing.T) {
+	if _, err := Check(&obs.BenchHistory{}, CheckConfig{}, 0); err == nil {
+		t.Error("empty history accepted")
+	}
+}

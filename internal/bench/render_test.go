@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pdce/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden render files")
+
+func fixtureHistory(t *testing.T) *obs.BenchHistory {
+	t.Helper()
+	h, err := obs.LoadBenchHistory("testdata/history.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestGoldenBenchmarksDoc byte-compares the full generated document
+// against the committed golden render of the fixture history. Run
+// `go test ./internal/bench -run Golden -update` after an intentional
+// renderer change.
+func TestGoldenBenchmarksDoc(t *testing.T) {
+	r := NewRenderer(fixtureHistory(t), nil)
+	got := r.BenchmarksDoc()
+	if got != r.BenchmarksDoc() {
+		t.Fatal("render is not deterministic")
+	}
+	const golden = "testdata/golden_benchmarks.md"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("render drifted from golden (re-run with -update if intended)\n--- got ---\n%s", got)
+	}
+}
+
+// TestGoldenReadmePerf pins the README trajectory block the same way.
+func TestGoldenReadmePerf(t *testing.T) {
+	r := NewRenderer(fixtureHistory(t), nil)
+	got := r.ReadmePerfBlock()
+	const golden = "testdata/golden_readme_perf.md"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("readme-perf drifted from golden (re-run with -update if intended)\n--- got ---\n%s", got)
+	}
+}
+
+func TestRendererBlocks(t *testing.T) {
+	r := NewRenderer(fixtureHistory(t), nil)
+	blocks := r.Blocks()
+	for _, name := range []string{"readme-perf", "exp:C1", "exp:C4"} {
+		if blocks[name] == "" {
+			t.Errorf("missing block %s", name)
+		}
+	}
+	if _, ok := blocks["exp:PERF"]; ok {
+		t.Error("milestone pseudo-experiment leaked into doc blocks")
+	}
+	// The C1 block cites its source run and carries the variance table.
+	c1 := blocks["exp:C1"]
+	if !strings.Contains(c1, "Run `20260101-120000` (quick, seeds 3)") {
+		t.Errorf("C1 caption: %s", c1)
+	}
+	if !strings.Contains(c1, "| pde | 64 | 520µs |") {
+		t.Errorf("C1 median row missing: %s", c1)
+	}
+	// Metrics-only experiments render without the time columns.
+	if strings.Contains(blocks["exp:C4"], "time (median)") {
+		t.Errorf("C4 has time columns with no timing data: %s", blocks["exp:C4"])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{0, "0s"}, {999, "999ns"}, {1000, "1.00µs"}, {520000, "520µs"},
+		{1215000, "1.22ms"}, {38145702, "38.1ms"}, {3651480766, "3.65s"},
+	} {
+		if got := fmtDur(tc.ns); got != tc.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {3, "3"}, {1234, "1234"}, {2.5, "2.50"}, {0.123456, "0.123"},
+		{12.34, "12.3"}, {123.4, "123"}, {-4.25, "-4.25"},
+	} {
+		if got := fmtF(tc.v); got != tc.want {
+			t.Errorf("fmtF(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		v    int64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1000, "1,000"}, {1536640, "1,536,640"}, {-12345, "-12,345"},
+	} {
+		if got := groupInt(tc.v); got != tc.want {
+			t.Errorf("groupInt(%d) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := RunStamp(time.Date(2026, 8, 9, 1, 2, 3, 0, time.UTC)); got != "20260809-010203" {
+		t.Errorf("RunStamp = %q", got)
+	}
+}

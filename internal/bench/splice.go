@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Generated-block markers. Everything between a begin/end pair is
+// owned by the renderer; the surrounding prose stays hand-written.
+//
+//	<!-- generated:begin exp:C1 -->
+//	| series | ... |
+//	<!-- generated:end exp:C1 -->
+const (
+	beginMarkerFmt = "<!-- generated:begin %s -->"
+	endMarkerFmt   = "<!-- generated:end %s -->"
+)
+
+var markerRe = regexp.MustCompile(`<!-- generated:begin ([A-Za-z0-9:._-]+) -->`)
+
+// ListGenerated returns the names of every generated block declared in
+// a document, in order of appearance.
+func ListGenerated(doc []byte) []string {
+	var names []string
+	for _, m := range markerRe.FindAllSubmatch(doc, -1) {
+		names = append(names, string(m[1]))
+	}
+	return names
+}
+
+// SpliceGenerated replaces the named generated block's content,
+// returning the new document and whether it changed. The begin and
+// end marker lines stay; content (which must end with a newline) is
+// placed verbatim between them. Splicing identical content is a no-op
+// byte-for-byte, which is what makes regeneration idempotent.
+func SpliceGenerated(doc []byte, name, content string) ([]byte, bool, error) {
+	begin := fmt.Sprintf(beginMarkerFmt, name)
+	end := fmt.Sprintf(endMarkerFmt, name)
+	s := string(doc)
+	bi := strings.Index(s, begin)
+	if bi < 0 {
+		return nil, false, fmt.Errorf("generated block %q: begin marker not found", name)
+	}
+	rest := s[bi+len(begin):]
+	ei := strings.Index(rest, end)
+	if ei < 0 {
+		return nil, false, fmt.Errorf("generated block %q: end marker not found", name)
+	}
+	if !strings.HasSuffix(content, "\n") {
+		content += "\n"
+	}
+	out := s[:bi+len(begin)] + "\n" + content + s[bi+len(begin)+ei:]
+	return []byte(out), out != s, nil
+}
+
+// SpliceAll updates every generated block declared in the document
+// from the blocks map, erroring on blocks the renderer does not know
+// (a typo in a marker would otherwise silently freeze stale content).
+// It returns the new document and whether anything changed.
+func SpliceAll(doc []byte, blocks map[string]string) ([]byte, bool, error) {
+	changed := false
+	for _, name := range ListGenerated(doc) {
+		content, ok := blocks[name]
+		if !ok {
+			return nil, false, fmt.Errorf("generated block %q: no renderer for it", name)
+		}
+		next, ch, err := SpliceGenerated(doc, name, content)
+		if err != nil {
+			return nil, false, err
+		}
+		doc, changed = next, changed || ch
+	}
+	return doc, changed, nil
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const spliceDoc = `# Doc
+
+Prose before.
+
+<!-- generated:begin exp:C1 -->
+| old | table |
+<!-- generated:end exp:C1 -->
+
+Prose between.
+
+<!-- generated:begin readme-perf -->
+stale
+<!-- generated:end readme-perf -->
+
+Prose after.
+`
+
+func TestListGenerated(t *testing.T) {
+	names := ListGenerated([]byte(spliceDoc))
+	if len(names) != 2 || names[0] != "exp:C1" || names[1] != "readme-perf" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSpliceGenerated(t *testing.T) {
+	out, changed, err := SpliceGenerated([]byte(spliceDoc), "exp:C1", "| new | table |\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("no change reported")
+	}
+	s := string(out)
+	if !strings.Contains(s, "<!-- generated:begin exp:C1 -->\n| new | table |\n<!-- generated:end exp:C1 -->") {
+		t.Errorf("splice result:\n%s", s)
+	}
+	if !strings.Contains(s, "Prose before.") || !strings.Contains(s, "Prose between.") || !strings.Contains(s, "stale") {
+		t.Errorf("surrounding content damaged:\n%s", s)
+	}
+
+	// Idempotency: splicing the same content again is a byte no-op.
+	out2, changed, err := SpliceGenerated(out, "exp:C1", "| new | table |")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || string(out2) != s {
+		t.Error("re-splice not idempotent")
+	}
+
+	if _, _, err := SpliceGenerated([]byte(spliceDoc), "missing", "x\n"); err == nil {
+		t.Error("missing block accepted")
+	}
+}
+
+func TestSpliceAll(t *testing.T) {
+	blocks := map[string]string{
+		"exp:C1":      "| c1 |\n",
+		"readme-perf": "| perf |\n",
+		"exp:C2":      "| unused renderer is fine |\n",
+	}
+	out, changed, err := SpliceAll([]byte(spliceDoc), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !strings.Contains(string(out), "| c1 |") || !strings.Contains(string(out), "| perf |") {
+		t.Errorf("SpliceAll:\n%s", out)
+	}
+
+	// A marker with no renderer is an error, not a silent freeze.
+	doc := spliceDoc + "\n<!-- generated:begin exp:TYPO -->\nx\n<!-- generated:end exp:TYPO -->\n"
+	if _, _, err := SpliceAll([]byte(doc), blocks); err == nil {
+		t.Error("unknown marker accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAggregateBenchStats(t *testing.T) {
+	points := []BenchPoint{
+		{Exp: "C1", Name: "pde", N: 64, Rep: 0, NSPerOp: 100},
+		{Exp: "C1", Name: "pde", N: 64, Rep: 1, NSPerOp: 300},
+		{Exp: "C1", Name: "pde", N: 64, Rep: 2, NSPerOp: 200},
+		{Exp: "C1", Name: "pde", N: 64, Rep: 3, NSPerOp: 900},
+		{Exp: "C1", Name: "pde", N: 64, Rep: 4, NSPerOp: 250},
+	}
+	aggs := AggregateBench(points)
+	if len(aggs) != 1 {
+		t.Fatalf("aggregates = %d, want 1", len(aggs))
+	}
+	a := aggs[0]
+	if a.Metric != BenchTimeMetric || a.Count != 5 {
+		t.Fatalf("bad aggregate %+v", a)
+	}
+	// Sorted: 100 200 250 300 900.
+	if a.Median != 250 {
+		t.Errorf("median = %v, want 250", a.Median)
+	}
+	if a.P95 != 900 {
+		t.Errorf("p95 = %v, want 900 (nearest rank)", a.P95)
+	}
+	// Deviations from 250: 150 50 0 50 650 → sorted 0 50 50 150 650 → MAD 50.
+	if a.MAD != 50 {
+		t.Errorf("mad = %v, want 50", a.MAD)
+	}
+	if a.Min != 100 || a.Max != 900 {
+		t.Errorf("min/max = %v/%v, want 100/900", a.Min, a.Max)
+	}
+}
+
+// TestAggregateBenchOrder pins the deterministic ordering: series in
+// first-appearance order, metrics sorted within a series.
+func TestAggregateBenchOrder(t *testing.T) {
+	points := []BenchPoint{
+		{Exp: "C5", Name: "z-series", Rep: 0, Metrics: map[string]float64{"zz": 1, "aa": 2}},
+		{Exp: "C5", Name: "a-series", Rep: 0, NSPerOp: 10, Metrics: map[string]float64{"mm": 3}},
+		{Exp: "C5", Name: "z-series", Rep: 1, Metrics: map[string]float64{"zz": 1, "aa": 2}},
+	}
+	aggs := AggregateBench(points)
+	var got []string
+	for _, a := range aggs {
+		got = append(got, a.Name+"/"+a.Metric)
+	}
+	want := []string{"z-series/aa", "z-series/zz", "a-series/mm", "a-series/ns_per_op"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantileNearest(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if q := quantileNearest(s, 0.5); q != 2 {
+		t.Errorf("median of 4 = %v, want 2 (nearest rank)", q)
+	}
+	if q := quantileNearest(s, 0.95); q != 4 {
+		t.Errorf("p95 of 4 = %v, want 4", q)
+	}
+	if q := quantileNearest(nil, 0.5); q != 0 {
+		t.Errorf("empty = %v", q)
+	}
+}
+
+// TestLegacyMigration reads a version-1 flat report as a single-run
+// history, so pre-harness BENCH_paper.json files keep loading.
+func TestLegacyMigration(t *testing.T) {
+	legacy := []byte(`{
+  "quick": true,
+  "seeds": 3,
+  "gomaxprocs": 2,
+  "records": [
+    {"exp": "C1", "name": "pde", "n": 64, "ns_per_op": 123, "metrics": {"exponent": 1.5}},
+    {"exp": "F", "name": "fig1", "metrics": {"ok": 1}}
+  ]
+}`)
+	h, err := ParseBenchHistory(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != BenchSchemaVersion || len(h.Runs) != 1 {
+		t.Fatalf("schema=%d runs=%d", h.Schema, len(h.Runs))
+	}
+	run := h.Runs[0]
+	if run.RunID != "legacy" || run.Kind != "legacy" || !run.Quick || run.Seeds != 3 || run.Repeats != 1 {
+		t.Fatalf("migrated header %+v", run)
+	}
+	if len(run.Records) != 2 || len(run.Aggregates) == 0 {
+		t.Fatalf("migrated %d records, %d aggregates", len(run.Records), len(run.Aggregates))
+	}
+	if st, ok := run.Stat("C1", "pde", 64, BenchTimeMetric); !ok || st.Median != 123 {
+		t.Errorf("Stat = %+v, %v", st, ok)
+	}
+}
+
+func TestAppendBenchRunUpgradesLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"quick":false,"seeds":5,"gomaxprocs":1,"records":[{"exp":"C1","name":"pde","n":64,"ns_per_op":7}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := BenchRun{RunID: "r2", Kind: "quick", Records: []BenchPoint{{Exp: "C1", Name: "pde", N: 64, NSPerOp: 9}}}
+	if err := AppendBenchRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) != 2 || h.Runs[0].Kind != "legacy" || h.Runs[1].RunID != "r2" {
+		t.Fatalf("upgraded history %+v", h.Runs)
+	}
+	// Appending again keeps growing; the file is now schema 2.
+	if err := AppendBenchRun(path, BenchRun{RunID: "r3", Kind: "quick"}); err != nil {
+		t.Fatal(err)
+	}
+	h, err = LoadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(h.Runs))
+	}
+}
+
+func TestLoadBenchHistoryMissing(t *testing.T) {
+	h, err := LoadBenchHistory(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != BenchSchemaVersion || len(h.Runs) != 0 {
+		t.Fatalf("missing file: %+v", h)
+	}
+}
+
+func TestNewestSkipsMilestones(t *testing.T) {
+	h := &BenchHistory{Schema: BenchSchemaVersion, Runs: []BenchRun{
+		{RunID: "a", Kind: "full"},
+		{RunID: "m", Kind: "milestone"},
+	}}
+	if got := h.Newest(nil); got == nil || got.RunID != "a" {
+		t.Errorf("Newest(nil) = %+v, want run a", got)
+	}
+	if got := h.Newest(func(r *BenchRun) bool { return r.Kind == "milestone" }); got == nil || got.RunID != "m" {
+		t.Errorf("Newest(milestone) = %+v, want run m", got)
+	}
+	if got := (&BenchHistory{}).Newest(nil); got != nil {
+		t.Errorf("empty history Newest = %+v", got)
+	}
+}

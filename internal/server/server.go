@@ -331,21 +331,31 @@ func (s *Server) BeginDrain() {
 // queued stay in the write-ahead log and resume on the next boot.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		s.l2wg.Wait() // flush async L2 publishes before reporting drained
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return fmt.Errorf("pdced: drain interrupted: %w", ctx.Err())
+	wait := func(wg *sync.WaitGroup) error {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("pdced: drain interrupted: %w", ctx.Err())
+		}
+	}
+	if err := wait(&s.inflight); err != nil {
+		return err
 	}
 	if s.queue != nil {
-		return s.queue.Drain(ctx)
+		if err := s.queue.Drain(ctx); err != nil {
+			return err
+		}
 	}
-	return nil
+	// Flush async L2 publishes before reporting drained. This must run
+	// after the queue drain: queue workers call l2Put until Drain stops
+	// them, and a WaitGroup Add racing an in-progress Wait is undefined.
+	return wait(&s.l2wg)
 }
 
 // --- singleflight -----------------------------------------------------

@@ -21,8 +21,10 @@ const reportSchema = "testdata/report.schema.json"
 // The schema dialect is deliberately tiny (this repo takes no external
 // dependencies): an object with a "required" and an "optional" map from
 // key to either a type name ("string", "number", "bool") or a nested
-// schema; a schema holding "elements" applies that schema to every
-// element of an array. Required keys must be present with the right
+// schema; a schema holding "elements" applies that spec (a schema or a
+// type name) to every element of an array; a schema holding "values"
+// applies its spec to every value of a free-form object (a homogeneous
+// map like bench metrics). Required keys must be present with the right
 // type; optional keys are type-checked when present; unknown keys are
 // rejected, so the golden file must be updated in the same change that
 // extends the payload — that is the point.
@@ -51,12 +53,20 @@ func validate(doc any, schema map[string]any, path string) error {
 		if !ok {
 			return fmt.Errorf("%s: want array, got %T", path, doc)
 		}
-		es, ok := elems.(map[string]any)
-		if !ok {
-			return fmt.Errorf("%s: bad schema: elements must be a schema", path)
-		}
 		for i, el := range arr {
-			if err := validate(el, es, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+			if err := validateValue(el, elems, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if vals, ok := schema["values"]; ok {
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: want object, got %T", path, doc)
+		}
+		for key, v := range obj {
+			if err := validateValue(v, vals, path+"."+key); err != nil {
 				return err
 			}
 		}
